@@ -1,0 +1,76 @@
+// Reproduces Fig. 12: (a) speedup vs number of workers (5, 8, 11, 14),
+// relative to one epoch of TopkDSA at 8 workers on the VGG-19 case;
+// (b) accuracy vs time with 8 workers, where gTopk (power-of-two only)
+// joins the comparison. Paper shape: SparDL's speedup grows fastest with
+// P; at 8 workers its margin is smaller than at 14.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "metrics/table.h"
+#include "train_util.h"
+
+int main() {
+  using namespace spardl;  // NOLINT
+  const ModelProfile& profile = ProfileByModel("VGG-19");
+  const std::vector<int> worker_counts = {5, 8, 11, 14};
+  const std::vector<std::string> algos = {"topkdsa", "topka", "gtopk",
+                                          "oktopk", "spardl"};
+
+  std::printf(
+      "== Fig. 12(a): speedup vs number of workers (VGG-19 profile) ==\n"
+      "Reference: per-epoch time of TopkDSA at P=8 (epoch = per-update "
+      "time x fixed iteration count; the constant cancels in ratios).\n\n");
+
+  std::map<std::string, std::map<int, double>> total_seconds;
+  for (int p : worker_counts) {
+    for (const std::string& algo : algos) {
+      if (algo == "gtopk" && (p & (p - 1)) != 0) continue;
+      bench::PerUpdateOptions options;
+      options.num_workers = p;
+      options.k_ratio = 0.01;
+      options.measured_iterations = 1;
+      const bench::PerUpdateResult r =
+          bench::MeasurePerUpdate(algo, profile, options);
+      total_seconds[algo][p] = r.total_seconds();
+    }
+  }
+  const double reference = total_seconds["topkdsa"][8];
+  TablePrinter table({"method", "P=5", "P=8", "P=11", "P=14"});
+  for (const std::string& algo : algos) {
+    std::vector<std::string> row = {algo};
+    for (int p : worker_counts) {
+      auto it = total_seconds[algo].find(p);
+      row.push_back(it == total_seconds[algo].end()
+                        ? "-"
+                        : StrFormat("%.2fx", reference / it->second));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "== Fig. 12(b): convergence with 8 workers (gTopk included) ==\n\n");
+  const TrainingCaseSpec spec = MakeTrainingCase("vgg19");
+  bench::TrainRunOptions options;
+  options.num_workers = 8;
+  options.k_ratio = 0.01;
+  options.epochs = 5;
+  options.iterations_per_epoch = 10;
+  std::vector<bench::ConvergenceSeries> series;
+  for (const auto& [algo, label] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"topkdsa", "TopkDSA"},
+           {"topka", "TopkA"},
+           {"gtopk", "gTopk"},
+           {"oktopk", "Ok-Topk"},
+           {"spardl", "SparDL"}}) {
+    series.push_back(bench::RunTrainingCase(spec, algo, label, options));
+  }
+  bench::PrintConvergence("-- Case 2 with 8 workers --", series);
+  return 0;
+}

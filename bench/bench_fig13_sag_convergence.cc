@@ -1,0 +1,52 @@
+// Reproduces Fig. 13: SparDL with the two Spar-All-Gather variants on the
+// VGG-16 case, 14 workers. (a) R-SAG with d = 1, 2; (b) B-SAG with
+// d = 1, 2, 7, 14. Paper shape: R-SAG(d=2) slightly faster than d=1;
+// B-SAG d=7 the fastest (~1.25x), d=14 a bit slower than d=7 and with the
+// lowest final accuracy (aggregation after one local top-h only).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "train_util.h"
+
+int main() {
+  using namespace spardl;  // NOLINT
+  TrainingCaseSpec spec = MakeTrainingCase("vgg16");
+  // Harder task variant so the d=P quality loss is visible within the
+  // short run (see bench_fig17_residuals.cc for the same reasoning).
+  spec.dataset_factory = [] {
+    return MakeSyntheticClassification(96, 10, 3.0f, 101);
+  };
+
+  auto run = [&](int d, SagMode mode, const std::string& label) {
+    bench::TrainRunOptions options;
+    options.num_workers = 14;
+    options.k_ratio = 0.004;
+    options.epochs = 8;
+    options.iterations_per_epoch = 10;
+    options.num_teams = d;
+    if (d > 1) options.sag_mode = mode;
+    return bench::RunTrainingCase(spec, "spardl", label, options);
+  };
+
+  std::printf("== Fig. 13(a): SparDL with R-SAG (VGG-16, P=14) ==\n\n");
+  {
+    std::vector<bench::ConvergenceSeries> series;
+    series.push_back(run(1, SagMode::kAuto, "d=1"));
+    series.push_back(run(2, SagMode::kRecursive, "d=2 (R-SAG)"));
+    bench::PrintConvergence("-- R-SAG --", series);
+  }
+
+  std::printf("== Fig. 13(b): SparDL with B-SAG (VGG-16, P=14) ==\n\n");
+  {
+    std::vector<bench::ConvergenceSeries> series;
+    series.push_back(run(1, SagMode::kAuto, "d=1"));
+    series.push_back(run(2, SagMode::kBruck, "d=2 (B-SAG)"));
+    series.push_back(run(7, SagMode::kBruck, "d=7 (B-SAG)"));
+    series.push_back(run(14, SagMode::kBruck, "d=14 (B-SAG)"));
+    bench::PrintConvergence("-- B-SAG --", series);
+  }
+  return 0;
+}

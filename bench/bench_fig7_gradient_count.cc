@@ -1,0 +1,84 @@
+// Reproduces Fig. 7: the number of sparse gradients held after using Bruck
+// All-Gather to synchronise gradients among teams (B-SAG's observed union)
+// changes slowly across batches — the property that makes the top-h
+// controller (Algorithm 2) work.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/spardl.h"
+#include "dl/grad_profile.h"
+#include "metrics/table.h"
+#include "simnet/cluster.h"
+
+int main() {
+  using namespace spardl;  // NOLINT
+  const int p = 14;
+  const int d = 7;
+  const size_t n = 2'000'000;
+  const size_t k = 20'000;  // k/n = 1e-2
+  const int iterations = 400;
+
+  std::printf(
+      "== Fig. 7: gradients after inter-team Bruck all-gather (B-SAG) ==\n"
+      "P=%d, d=%d, n=%zu, k=%zu, %d batches; support drifts slowly as in "
+      "training.\n\n",
+      p, d, n, k, iterations);
+
+  SparDLConfig config;
+  config.n = n;
+  config.k = k;
+  config.num_workers = p;
+  config.num_teams = d;
+  config.sag_mode = SagMode::kBruck;
+  config.residual_mode = ResidualMode::kNone;
+
+  Cluster cluster(p, CostModel::Free());
+  std::vector<std::unique_ptr<SparDL>> algos(static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    algos[static_cast<size_t>(r)] = std::move(*SparDL::Create(config));
+  }
+  const ProfileGradientGenerator generator(n, 99, 64, /*drift_period=*/40);
+
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(iterations));
+  for (int iter = 0; iter < iterations; ++iter) {
+    cluster.Run([&](Comm& comm) {
+      const SparseVector candidates =
+          generator.Generate(comm.rank(), iter, 2 * k);
+      algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,
+                                                           candidates);
+    });
+    series.push_back(
+        static_cast<double>(algos[0]->last_bsag_union()));
+  }
+
+  TablePrinter table({"batch", "union nnz", "target L=dk/P"});
+  const size_t target = d * k / p;
+  for (int iter = 0; iter < iterations; iter += 25) {
+    table.AddRow({StrFormat("%d", iter),
+                  StrFormat("%.0f", series[static_cast<size_t>(iter)]),
+                  StrFormat("%zu", target)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Slow-change statistic: mean |relative step-to-step change|.
+  double change = 0.0;
+  double max_change = 0.0;
+  for (size_t i = 1; i < series.size(); ++i) {
+    const double rel = std::abs(series[i] - series[i - 1]) /
+                       (series[i - 1] + 1.0);
+    change += rel;
+    max_change = std::max(max_change, rel);
+  }
+  change /= static_cast<double>(series.size() - 1);
+  std::printf(
+      "Mean batch-to-batch relative change: %.3f%% (max %.1f%%).\n"
+      "Paper claim (Fig. 7): the count \"changes slowly with regard to "
+      "iterations\", with occasional fluctuations at drift points — "
+      "matched when the mean change is in the low percent range.\n",
+      100.0 * change, 100.0 * max_change);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the primitives on SparDL's hot
+// path: top-k selection, sparse merge-summation, SRS bag partitioning, and
+// the collectives' wall-clock cost on the in-process cluster.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "collectives/sparse_allgather.h"
+#include "common/random.h"
+#include "core/spar_reduce_scatter.h"
+#include "simnet/cluster.h"
+#include "sparse/topk.h"
+
+namespace spardl {
+namespace {
+
+std::vector<float> DenseGradient(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.NextGaussian());
+  return out;
+}
+
+SparseVector RandomSparse(size_t n, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  SparseVector out;
+  GradIndex idx = 0;
+  const size_t max_gap = std::max<size_t>(2, n / nnz);
+  for (size_t i = 0; i < nnz && idx < n; ++i) {
+    idx += 1 + static_cast<GradIndex>(rng.NextBounded(max_gap));
+    if (idx >= n) break;
+    out.PushBack(idx, static_cast<float>(rng.NextGaussian()));
+  }
+  return out;
+}
+
+void BM_TopKDense(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = n / 100;
+  const std::vector<float> dense = DenseGradient(n, 1);
+  TopKSelector selector;
+  SparseVector kept;
+  SparseVector discarded;
+  for (auto _ : state) {
+    selector.SelectDense(dense, 0, k, &kept, &discarded);
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TopKDense)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_TopKSparse(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const SparseVector input = RandomSparse(100 * nnz, nnz, 2);
+  TopKSelector selector;
+  SparseVector kept;
+  SparseVector discarded;
+  for (auto _ : state) {
+    selector.SelectSparse(input, nnz / 4, &kept, &discarded);
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_TopKSparse)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MergeSum(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const SparseVector a = RandomSparse(20 * nnz, nnz, 3);
+  const SparseVector b = RandomSparse(20 * nnz, nnz, 4);
+  SparseVector out;
+  for (auto _ : state) {
+    MergeSum(a, b, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_MergeSum)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SrsBagLayout(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SrsBagLayout layout(p, p / 2);
+    benchmark::DoNotOptimize(layout.num_steps());
+  }
+}
+BENCHMARK(BM_SrsBagLayout)->Arg(14)->Arg(64)->Arg(512);
+
+void BM_BruckAllGatherWallTime(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Cluster cluster(p, CostModel::Free());
+  for (auto _ : state) {
+    cluster.Run([&](Comm& comm) {
+      BruckAllGather(comm, CommGroup::World(comm),
+                     RandomSparse(1 << 16, 1 << 10,
+                                  static_cast<uint64_t>(comm.rank())));
+    });
+  }
+}
+BENCHMARK(BM_BruckAllGatherWallTime)->Arg(4)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparReduceScatterWallTime(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const size_t n = 1 << 18;
+  Cluster cluster(p, CostModel::Free());
+  std::vector<std::vector<float>> grads;
+  for (int r = 0; r < p; ++r) {
+    grads.push_back(DenseGradient(n, 100 + static_cast<uint64_t>(r)));
+  }
+  for (auto _ : state) {
+    cluster.Run([&](Comm& comm) {
+      SrsOptions options;
+      options.k = n / 100;
+      SparReduceScatter(comm, CommGroup::World(comm),
+                        grads[static_cast<size_t>(comm.rank())], options,
+                        nullptr);
+    });
+  }
+}
+BENCHMARK(BM_SparReduceScatterWallTime)->Arg(4)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spardl
+
+BENCHMARK_MAIN();

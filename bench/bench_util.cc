@@ -1,0 +1,81 @@
+#include "bench_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spardl {
+namespace bench {
+
+PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
+                                 const ModelProfile& profile,
+                                 const PerUpdateOptions& options) {
+  const size_t n = profile.num_params;
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(options.k_ratio * static_cast<double>(n)));
+  const size_t candidates_per_worker = std::max<size_t>(
+      k, static_cast<size_t>(options.candidate_factor *
+                             static_cast<double>(k)));
+
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = k;
+  config.num_workers = options.num_workers;
+  config.num_teams = options.num_teams;
+  config.residual_mode = ResidualMode::kNone;
+
+  Cluster cluster(options.num_workers, options.cost_model);
+  std::vector<std::unique_ptr<SparseAllReduce>> algos(
+      static_cast<size_t>(options.num_workers));
+  for (int r = 0; r < options.num_workers; ++r) {
+    auto created = CreateAlgorithm(algo_name, config);
+    SPARDL_CHECK(created.ok()) << created.status().ToString();
+    algos[static_cast<size_t>(r)] = std::move(*created);
+  }
+
+  const ProfileGradientGenerator generator(n, options.seed);
+  PerUpdateResult result;
+  result.algo_label = std::string(algos[0]->name());
+  result.compute_seconds = profile.compute_seconds;
+
+  const int total_iterations =
+      options.warmup_iterations + options.measured_iterations;
+  for (int iter = 0; iter < total_iterations; ++iter) {
+    if (iter == options.warmup_iterations) cluster.ResetClocksAndStats();
+    cluster.Run([&](Comm& comm) {
+      const SparseVector candidates = generator.Generate(
+          comm.rank(), iter, candidates_per_worker);
+      algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,
+                                                           candidates);
+      comm.BarrierSyncClocks();
+    });
+  }
+  double comm_seconds = 0.0;
+  uint64_t words = 0;
+  uint64_t messages = 0;
+  for (int r = 0; r < options.num_workers; ++r) {
+    comm_seconds =
+        std::max(comm_seconds, cluster.comm(r).stats().comm_seconds);
+    words = std::max(words, cluster.comm(r).stats().words_received);
+    messages = std::max(messages, cluster.comm(r).stats().messages_received);
+  }
+  const double iters = options.measured_iterations;
+  result.comm_seconds = comm_seconds / iters;
+  result.words_per_update = static_cast<double>(words) / iters;
+  result.messages_per_update = static_cast<double>(messages) / iters;
+  return result;
+}
+
+std::vector<PerUpdateResult> MeasurePerUpdateAll(
+    const std::vector<std::string>& algo_names, const ModelProfile& profile,
+    const PerUpdateOptions& options) {
+  std::vector<PerUpdateResult> results;
+  results.reserve(algo_names.size());
+  for (const std::string& name : algo_names) {
+    results.push_back(MeasurePerUpdate(name, profile, options));
+  }
+  return results;
+}
+
+}  // namespace bench
+}  // namespace spardl

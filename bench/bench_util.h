@@ -1,0 +1,62 @@
+#ifndef SPARDL_BENCH_BENCH_UTIL_H_
+#define SPARDL_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "dl/grad_profile.h"
+#include "simnet/cluster.h"
+
+namespace spardl {
+namespace bench {
+
+/// Result of measuring one method's per-update communication on a
+/// paper-scale gradient profile.
+struct PerUpdateResult {
+  std::string algo_label;
+  /// Simulated communication seconds per update (max over workers,
+  /// averaged over measured iterations).
+  double comm_seconds = 0.0;
+  /// Modelled forward+backward seconds (the profile's compute constant).
+  double compute_seconds = 0.0;
+  /// Per-worker received words / messages per update (max over workers).
+  double words_per_update = 0.0;
+  double messages_per_update = 0.0;
+
+  double total_seconds() const { return comm_seconds + compute_seconds; }
+};
+
+/// Options for a per-update measurement run.
+struct PerUpdateOptions {
+  int num_workers = 14;
+  double k_ratio = 0.01;
+  CostModel cost_model = CostModel::Ethernet();
+  /// Candidate entries per worker = candidate_factor * k.
+  double candidate_factor = 1.5;
+  int warmup_iterations = 1;
+  int measured_iterations = 2;
+  int num_teams = 1;          // for "spardl"
+  uint64_t seed = 2024;
+};
+
+/// Runs `algo_name` on synthetic candidate gradients of `profile`'s size
+/// and returns the per-update costs. Residual collection is disabled (the
+/// O(n) dense buffer would not fit for 133.5M-parameter profiles); this
+/// matches the paper's per-update-time measurements, which isolate
+/// communication.
+PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
+                                 const ModelProfile& profile,
+                                 const PerUpdateOptions& options);
+
+/// Convenience: measure several methods under the same options.
+std::vector<PerUpdateResult> MeasurePerUpdateAll(
+    const std::vector<std::string>& algo_names, const ModelProfile& profile,
+    const PerUpdateOptions& options);
+
+}  // namespace bench
+}  // namespace spardl
+
+#endif  // SPARDL_BENCH_BENCH_UTIL_H_

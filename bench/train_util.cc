@@ -1,0 +1,105 @@
+#include "train_util.h"
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dl/grad_profile.h"
+#include "metrics/table.h"
+#include "simnet/cluster.h"
+
+namespace spardl {
+namespace bench {
+
+ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
+                                  const std::string& algo_name,
+                                  const std::string& label,
+                                  const TrainRunOptions& options) {
+  auto dataset = spec.dataset_factory();
+  TrainerConfig config = spec.default_config;
+  config.epochs = options.epochs;
+  config.iterations_per_epoch = options.iterations_per_epoch;
+  if (options.lr_drop_fraction > 0.0) {
+    config.sgd.lr_milestones = {
+        {static_cast<int>(options.lr_drop_fraction * options.epochs), 0.1}};
+  }
+
+  CostModel cost_model = options.cost_model;
+  if (options.paper_scale_network && !spec.paper_model.empty()) {
+    const ModelProfile& profile = ProfileByModel(spec.paper_model);
+    const size_t actual_n = spec.model_factory(config.model_seed)->num_params();
+    cost_model.beta *= static_cast<double>(profile.num_params) /
+                       static_cast<double>(actual_n);
+    config.compute_seconds_per_iteration = profile.compute_seconds;
+  }
+
+  AlgorithmFactory algorithm_factory = [&](size_t n) {
+    AlgorithmConfig algo_config;
+    algo_config.n = n;
+    algo_config.k = std::max<size_t>(
+        1, static_cast<size_t>(options.k_ratio * static_cast<double>(n)));
+    algo_config.num_workers = options.num_workers;
+    algo_config.num_teams = options.num_teams;
+    algo_config.value_bits = options.value_bits;
+    if (options.residual_mode.has_value()) {
+      algo_config.residual_mode = *options.residual_mode;
+    }
+    if (options.sag_mode.has_value()) {
+      algo_config.sag_mode = *options.sag_mode;
+    }
+    auto created = CreateAlgorithm(algo_name, algo_config);
+    SPARDL_CHECK(created.ok()) << created.status().ToString();
+    return std::move(*created);
+  };
+
+  Cluster cluster(options.num_workers, cost_model);
+  const TrainResult result = TrainDistributed(
+      cluster, *dataset, spec.model_factory, algorithm_factory, config);
+  SPARDL_CHECK(result.replicas_consistent)
+      << label << ": replicas diverged";
+
+  ConvergenceSeries series;
+  series.label = label;
+  series.metric = spec.metric;
+  series.epochs = result.epochs;
+  series.replicas_consistent = result.replicas_consistent;
+  return series;
+}
+
+void PrintConvergence(const std::string& title,
+                      const std::vector<ConvergenceSeries>& series) {
+  std::printf("%s\n", title.c_str());
+  const bool accuracy =
+      !series.empty() && series[0].metric == TaskMetric::kAccuracy;
+  TablePrinter table({"method", "epoch", "sim time (s)",
+                      accuracy ? "test accuracy" : "test loss"});
+  for (const ConvergenceSeries& s : series) {
+    for (const EpochRecord& e : s.epochs) {
+      table.AddRow({s.label, StrFormat("%d", e.epoch + 1),
+                    StrFormat("%.3f", e.sim_seconds_cumulative),
+                    accuracy ? StrFormat("%.1f%%", 100.0 * e.test_metric)
+                             : StrFormat("%.4f", e.test_metric)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Completion-time summary (the paper's speedup metric: time to finish
+  // the same number of epochs).
+  TablePrinter summary({"method", "total sim time (s)", "final metric",
+                        "speedup vs first row"});
+  const double reference = series[0].epochs.back().sim_seconds_cumulative;
+  for (const ConvergenceSeries& s : series) {
+    const double total = s.epochs.back().sim_seconds_cumulative;
+    summary.AddRow(
+        {s.label, StrFormat("%.3f", total),
+         accuracy
+             ? StrFormat("%.1f%%", 100.0 * s.epochs.back().test_metric)
+             : StrFormat("%.4f", s.epochs.back().test_metric),
+         StrFormat("%.2fx", reference / total)});
+  }
+  std::printf("%s\n", summary.ToString().c_str());
+}
+
+}  // namespace bench
+}  // namespace spardl

@@ -1,0 +1,58 @@
+#ifndef SPARDL_BENCH_TRAIN_UTIL_H_
+#define SPARDL_BENCH_TRAIN_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/residual.h"
+#include "core/spardl.h"
+#include "dl/cases.h"
+#include "dl/trainer.h"
+
+namespace spardl {
+namespace bench {
+
+/// One training run's identity + curve, for the convergence figures.
+struct ConvergenceSeries {
+  std::string label;
+  TaskMetric metric = TaskMetric::kAccuracy;
+  std::vector<EpochRecord> epochs;
+  bool replicas_consistent = false;
+};
+
+struct TrainRunOptions {
+  int num_workers = 14;
+  double k_ratio = 0.01;
+  int num_teams = 1;
+  std::optional<ResidualMode> residual_mode;  // method default when unset
+  std::optional<SagMode> sag_mode;            // kAuto when unset
+  int value_bits = 32;                        // SparDL wire quantization
+  int epochs = 6;
+  int iterations_per_epoch = 12;
+  CostModel cost_model = CostModel::Ethernet();
+  /// LR-drop milestone as a fraction of total epochs (Fig. 17 uses the
+  /// paper's epoch-80 drop); < 0 disables.
+  double lr_drop_fraction = -1.0;
+  /// Scale beta by paper-model-n / this-model-n and charge the paper
+  /// model's compute constant, so the laptop-scale model experiences the
+  /// paper testbed's bandwidth/latency/compute balance (the alpha-beta
+  /// model is linear in message size, so method ratios are preserved).
+  bool paper_scale_network = true;
+};
+
+/// Trains `spec` with the named sparse All-Reduce method and returns the
+/// per-epoch curve on the simulated clock.
+ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
+                                  const std::string& algo_name,
+                                  const std::string& label,
+                                  const TrainRunOptions& options);
+
+/// Prints curves as "sim time | metric" rows per series.
+void PrintConvergence(const std::string& title,
+                      const std::vector<ConvergenceSeries>& series);
+
+}  // namespace bench
+}  // namespace spardl
+
+#endif  // SPARDL_BENCH_TRAIN_UTIL_H_

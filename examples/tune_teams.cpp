@@ -1,0 +1,58 @@
+// The paper's recommended procedure for picking the team count d
+// (§III-D, §IV-G): run one epoch per divisor of P and keep the fastest.
+// This example automates it on a paper-scale profile.
+//
+//   $ ./build/examples/tune_teams [P]   (default: 12)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spardl;  // NOLINT
+  const int p = argc > 1 ? std::atoi(argv[1]) : 12;
+  if (p < 2) {
+    std::fprintf(stderr, "P must be >= 2\n");
+    return 1;
+  }
+  const ModelProfile& profile = ProfileByModel("VGG-16");
+  const int iterations_per_epoch = 30;
+
+  std::printf(
+      "selecting the optimal team count d for P=%d on %s (%zu params)\n"
+      "one simulated epoch (%d iterations) per candidate d...\n\n",
+      p, profile.model.c_str(), profile.num_params, iterations_per_epoch);
+
+  TablePrinter table({"d", "SAG variant", "per-epoch comm+comp (s)"});
+  double best_time = -1.0;
+  int best_d = 1;
+  std::string best_label;
+  for (int d = 1; d <= p; ++d) {
+    if (p % d != 0) continue;  // d must divide P
+    bench::PerUpdateOptions options;
+    options.num_workers = p;
+    options.k_ratio = 0.01;
+    options.num_teams = d;
+    options.measured_iterations = 2;
+    const bench::PerUpdateResult r =
+        bench::MeasurePerUpdate("spardl", profile, options);
+    const double epoch_seconds =
+        (r.comm_seconds + r.compute_seconds) * iterations_per_epoch;
+    table.AddRow({StrFormat("%d", d), std::string(r.algo_label),
+                  StrFormat("%.2f", epoch_seconds)});
+    if (best_time < 0.0 || epoch_seconds < best_time) {
+      best_time = epoch_seconds;
+      best_d = d;
+      best_label = r.algo_label;
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("optimal: d=%d (%s), %.2f s per epoch\n", best_d,
+              best_label.c_str(), best_time);
+  return 0;
+}

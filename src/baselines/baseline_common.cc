@@ -1,0 +1,61 @@
+#include "baselines/baseline_common.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace spardl {
+
+Status BaselineConfig::Validate() const {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument(
+        StrFormat("k must be in [1, n]; got k=%zu n=%zu", k, n));
+  }
+  if (num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  return Status::OK();
+}
+
+BaselineBase::BaselineBase(BaselineConfig config, std::string name)
+    : config_(config),
+      residuals_(config.residual_mode == ResidualMode::kNone ? 0 : config.n,
+                 config.residual_mode),
+      name_(std::move(name)) {}
+
+SparseVector BaselineBase::LocalSelectDense(std::span<const float> grad) {
+  SparseVector kept;
+  SparseVector discarded;
+  selector_.SelectDense(grad, 0, config_.k, &kept, &discarded);
+  residuals_.AddLocalDiscard(discarded);
+  return kept;
+}
+
+SparseVector BaselineBase::LocalSelectSparse(const SparseVector& candidates) {
+  SparseVector kept;
+  SparseVector discarded;
+  selector_.SelectSparse(candidates, config_.k, &kept, &discarded);
+  residuals_.AddLocalDiscard(discarded);
+  return kept;
+}
+
+SparseVector BaselineBase::Run(Comm& comm, std::span<float> grad) {
+  SPARDL_CHECK_EQ(grad.size(), config_.n);
+  SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  residuals_.ApplyAndReset(grad);
+  SparseVector local = LocalSelectDense(grad);
+  SparseVector final_gradient = Core(comm, std::move(local));
+  residuals_.FinishIteration(final_gradient);
+  return final_gradient;
+}
+
+SparseVector BaselineBase::RunOnSparse(Comm& comm,
+                                       const SparseVector& candidates) {
+  SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  SparseVector local = LocalSelectSparse(candidates);
+  SparseVector final_gradient = Core(comm, std::move(local));
+  residuals_.FinishIteration(final_gradient);
+  return final_gradient;
+}
+
+}  // namespace spardl

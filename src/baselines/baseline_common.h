@@ -1,0 +1,68 @@
+#ifndef SPARDL_BASELINES_BASELINE_COMMON_H_
+#define SPARDL_BASELINES_BASELINE_COMMON_H_
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "core/residual.h"
+#include "core/sparse_allreduce.h"
+#include "sparse/topk.h"
+
+namespace spardl {
+
+/// Shared configuration for the four baseline sparse All-Reduce methods.
+struct BaselineConfig {
+  /// Dense gradient length n.
+  size_t n = 0;
+  /// Global sparse budget k.
+  size_t k = 0;
+  /// Cluster size P.
+  int num_workers = 0;
+  /// Error-feedback policy. Pass the method's natural policy (see the
+  /// registry) to match the paper's classification: TopkA/TopkDSA -> LRES,
+  /// gTopk/Ok-Topk -> PRES.
+  ResidualMode residual_mode = ResidualMode::kLocal;
+
+  Status Validate() const;
+};
+
+/// Skeleton shared by the baselines: error feedback + a global local top-k
+/// selection feeding a method-specific communication core.
+///
+/// Subclasses implement `Core`, which must return the same global gradient
+/// on every worker.
+class BaselineBase : public SparseAllReduce {
+ public:
+  SparseVector Run(Comm& comm, std::span<float> grad) final;
+  SparseVector RunOnSparse(Comm& comm,
+                           const SparseVector& candidates) final;
+  std::string_view name() const final { return name_; }
+
+  const BaselineConfig& config() const { return config_; }
+  const ResidualStore& residuals() const { return residuals_; }
+  ResidualStore& residuals() { return residuals_; }
+
+ protected:
+  BaselineBase(BaselineConfig config, std::string name);
+
+  /// Method-specific local selection from the (residual-compensated) dense
+  /// gradient. The default keeps the global top-k and records discards as
+  /// local residuals; Ok-Topk overrides this with threshold pruning.
+  virtual SparseVector LocalSelectDense(std::span<const float> grad);
+  virtual SparseVector LocalSelectSparse(const SparseVector& candidates);
+
+  /// The communication core; consumes this worker's selected gradient.
+  virtual SparseVector Core(Comm& comm, SparseVector local) = 0;
+
+  BaselineConfig config_;
+  ResidualStore residuals_;
+  TopKSelector selector_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_BASELINES_BASELINE_COMMON_H_

@@ -1,0 +1,33 @@
+#ifndef SPARDL_BASELINES_GTOPK_H_
+#define SPARDL_BASELINES_GTOPK_H_
+
+#include <memory>
+
+#include "baselines/baseline_common.h"
+
+namespace spardl {
+
+/// gTopk (Shi et al., ICDCS'19): global top-k via a binomial reduction tree
+/// followed by a binomial broadcast tree.
+///
+/// At every reduction level the receiving worker merges its partner's
+/// top-k, re-selects top-k (solving SGA) and stores the discards; the root
+/// then broadcasts the global top-k back down. Both trees move k entries
+/// per level, giving the 4 log2(P) k beta bandwidth of Table I row 3.
+/// Only defined for power-of-two P (the paper evaluates it at P = 8 only
+/// for this reason).
+class GTopk final : public BaselineBase {
+ public:
+  /// Fails with InvalidArgument unless num_workers is a power of two.
+  static Result<std::unique_ptr<GTopk>> Create(const BaselineConfig& config);
+
+ private:
+  explicit GTopk(const BaselineConfig& config)
+      : BaselineBase(config, "gTopk") {}
+
+  SparseVector Core(Comm& comm, SparseVector local) override;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_BASELINES_GTOPK_H_

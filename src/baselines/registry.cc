@@ -1,0 +1,83 @@
+#include "baselines/registry.h"
+
+#include <utility>
+
+#include "baselines/dense_allreduce.h"
+#include "baselines/gtopk.h"
+#include "baselines/oktopk.h"
+#include "baselines/topk_allgather.h"
+#include "baselines/topk_dsa.h"
+#include "common/strings.h"
+
+namespace spardl {
+
+namespace {
+
+BaselineConfig ToBaselineConfig(const AlgorithmConfig& config,
+                                ResidualMode natural_mode) {
+  BaselineConfig out;
+  out.n = config.n;
+  out.k = config.k;
+  out.num_workers = config.num_workers;
+  out.residual_mode = config.residual_mode.value_or(natural_mode);
+  return out;
+}
+
+template <typename T>
+Result<std::unique_ptr<SparseAllReduce>> Upcast(
+    Result<std::unique_ptr<T>> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<SparseAllReduce>(std::move(result.value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SparseAllReduce>> CreateAlgorithm(
+    std::string_view name, const AlgorithmConfig& config) {
+  // "spardl" honours config.sag_mode (kAuto by default); the -rsag/-bsag
+  // aliases force one SAG family, which the d-sweep benches need.
+  if (name == "spardl" || name == "spardl-rsag" || name == "spardl-bsag") {
+    SparDLConfig spardl_config;
+    spardl_config.n = config.n;
+    spardl_config.k = config.k;
+    spardl_config.num_workers = config.num_workers;
+    spardl_config.num_teams = config.num_teams;
+    spardl_config.sag_mode = config.sag_mode;
+    if (name == "spardl-rsag") spardl_config.sag_mode = SagMode::kRecursive;
+    if (name == "spardl-bsag") spardl_config.sag_mode = SagMode::kBruck;
+    spardl_config.residual_mode =
+        config.residual_mode.value_or(ResidualMode::kGlobal);
+    spardl_config.lazy_sparsify = config.lazy_sparsify;
+    spardl_config.value_bits = config.value_bits;
+    return Upcast(SparDL::Create(spardl_config));
+  }
+  if (name == "topka") {
+    return Upcast(
+        TopkAllGather::Create(ToBaselineConfig(config, ResidualMode::kLocal)));
+  }
+  if (name == "topkdsa") {
+    return Upcast(
+        TopkDsa::Create(ToBaselineConfig(config, ResidualMode::kLocal)));
+  }
+  if (name == "gtopk") {
+    return Upcast(
+        GTopk::Create(ToBaselineConfig(config, ResidualMode::kPartial)));
+  }
+  if (name == "oktopk") {
+    return Upcast(
+        OkTopk::Create(ToBaselineConfig(config, ResidualMode::kPartial),
+                       config.oktopk_rebalance_period));
+  }
+  if (name == "dense") {
+    return Upcast(DenseAllReduce::Create(config.n, config.num_workers));
+  }
+  return Status::NotFound(
+      StrFormat("unknown algorithm '%.*s'", static_cast<int>(name.size()),
+                name.data()));
+}
+
+std::vector<std::string> AlgorithmNames() {
+  return {"topkdsa", "topka", "gtopk", "oktopk", "spardl", "dense"};
+}
+
+}  // namespace spardl

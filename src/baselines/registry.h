@@ -1,0 +1,51 @@
+#ifndef SPARDL_BASELINES_REGISTRY_H_
+#define SPARDL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sparse_allreduce.h"
+#include "core/spardl.h"
+
+namespace spardl {
+
+/// One-stop configuration for building any sparse All-Reduce method by
+/// name. Fields irrelevant to a method are ignored (e.g. num_teams for the
+/// baselines).
+struct AlgorithmConfig {
+  size_t n = 0;
+  size_t k = 0;
+  int num_workers = 0;
+
+  // SparDL-only knobs.
+  int num_teams = 1;
+  SagMode sag_mode = SagMode::kAuto;
+  bool lazy_sparsify = true;
+
+  /// When unset, each method uses its natural policy from the literature:
+  /// SparDL -> GRES, TopkA/TopkDSA -> LRES, gTopk/Ok-Topk -> PRES,
+  /// Dense -> none.
+  std::optional<ResidualMode> residual_mode;
+
+  /// Ok-Topk's balancing period (64 in the paper).
+  int oktopk_rebalance_period = 64;
+
+  /// SparDL value quantization width (32 = off; see SparDLConfig).
+  int value_bits = 32;
+};
+
+/// Builds the method registered under `name`. Known names (case-sensitive):
+/// "spardl", "topka", "topkdsa", "gtopk", "oktopk", "dense".
+Result<std::unique_ptr<SparseAllReduce>> CreateAlgorithm(
+    std::string_view name, const AlgorithmConfig& config);
+
+/// All registered method names, in the paper's comparison order.
+std::vector<std::string> AlgorithmNames();
+
+}  // namespace spardl
+
+#endif  // SPARDL_BASELINES_REGISTRY_H_

@@ -1,0 +1,30 @@
+#include "baselines/topk_allgather.h"
+
+#include <utility>
+#include <vector>
+
+#include "collectives/sparse_allgather.h"
+
+namespace spardl {
+
+Result<std::unique_ptr<TopkAllGather>> TopkAllGather::Create(
+    const BaselineConfig& config) {
+  Status status = config.Validate();
+  if (!status.ok()) return status;
+  return std::unique_ptr<TopkAllGather>(new TopkAllGather(config));
+}
+
+SparseVector TopkAllGather::Core(Comm& comm, SparseVector local) {
+  const CommGroup world = CommGroup::World(comm);
+  const int p = comm.size();
+  std::vector<SparseVector> parts;
+  if ((p & (p - 1)) == 0) {
+    parts = RecursiveDoublingAllGather(comm, world, std::move(local));
+  } else {
+    parts = BruckAllGather(comm, world, std::move(local));
+  }
+  // Fixed rank-order summation keeps every replica bit-identical.
+  return SumAll(parts);
+}
+
+}  // namespace spardl

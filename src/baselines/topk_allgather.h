@@ -1,0 +1,32 @@
+#ifndef SPARDL_BASELINES_TOPK_ALLGATHER_H_
+#define SPARDL_BASELINES_TOPK_ALLGATHER_H_
+
+#include <memory>
+
+#include "baselines/baseline_common.h"
+
+namespace spardl {
+
+/// TopkA (SparCML's sparse all-gather all-reduce; Renggli et al., SC'19).
+///
+/// Every worker all-gathers its full local top-k and sums the P sparse
+/// vectors locally. This sidesteps the SGA dilemma entirely — nothing is
+/// ever re-sparsified in flight — at the price of bandwidth proportional to
+/// P: each worker receives 2(P-1)k words (Table I row 1). Latency is
+/// ceil(log2 P) (recursive doubling when P is a power of two, Bruck
+/// otherwise).
+class TopkAllGather final : public BaselineBase {
+ public:
+  static Result<std::unique_ptr<TopkAllGather>> Create(
+      const BaselineConfig& config);
+
+ private:
+  explicit TopkAllGather(const BaselineConfig& config)
+      : BaselineBase(config, "TopkA") {}
+
+  SparseVector Core(Comm& comm, SparseVector local) override;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_BASELINES_TOPK_ALLGATHER_H_

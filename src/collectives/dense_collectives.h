@@ -1,0 +1,30 @@
+#ifndef SPARDL_COLLECTIVES_DENSE_COLLECTIVES_H_
+#define SPARDL_COLLECTIVES_DENSE_COLLECTIVES_H_
+
+#include <span>
+
+#include "simnet/comm.h"
+
+namespace spardl {
+
+/// Ring all-reduce over `data` (summation): the classic dense baseline.
+/// 2(G-1) rounds, 2(G-1)/G * n words received per worker. Works for any
+/// group size.
+void RingAllReduce(Comm& comm, const CommGroup& group, std::span<float> data);
+
+/// Rabenseifner's all-reduce (recursive-halving reduce-scatter followed by
+/// recursive-doubling all-gather; Thakur et al., IJHPCA'05). This is the
+/// "efficient All-Reduce" whose interaction with sparsified gradients
+/// creates the SGA dilemma (paper §I). Group size must be a power of two.
+/// 2 log2 G rounds, 2(G-1)/G * n words per worker.
+void RabenseifnerAllReduce(Comm& comm, const CommGroup& group,
+                           std::span<float> data);
+
+/// Dense all-reduce picking Rabenseifner for power-of-two groups, ring
+/// otherwise.
+void DenseAllReduceAuto(Comm& comm, const CommGroup& group,
+                        std::span<float> data);
+
+}  // namespace spardl
+
+#endif  // SPARDL_COLLECTIVES_DENSE_COLLECTIVES_H_

@@ -1,0 +1,79 @@
+#ifndef SPARDL_COMMON_LOGGING_H_
+#define SPARDL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spardl {
+namespace internal {
+
+/// Accumulates a fatal-error message and aborts on destruction.
+///
+/// Used by the SPARDL_CHECK family below; not part of the public API.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[" << file << ":" << line << "] Check failed: " << condition
+            << " ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace spardl
+
+/// Aborts with a message when `condition` is false. Enabled in all builds:
+/// these guard invariants whose violation would silently corrupt gradient
+/// synchronisation, which is never acceptable.
+#define SPARDL_CHECK(condition)                                        \
+  if (!(condition))                                                    \
+  ::spardl::internal::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define SPARDL_CHECK_OP(a, b, op)                                 \
+  SPARDL_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define SPARDL_CHECK_EQ(a, b) SPARDL_CHECK_OP(a, b, ==)
+#define SPARDL_CHECK_NE(a, b) SPARDL_CHECK_OP(a, b, !=)
+#define SPARDL_CHECK_LT(a, b) SPARDL_CHECK_OP(a, b, <)
+#define SPARDL_CHECK_LE(a, b) SPARDL_CHECK_OP(a, b, <=)
+#define SPARDL_CHECK_GT(a, b) SPARDL_CHECK_OP(a, b, >)
+#define SPARDL_CHECK_GE(a, b) SPARDL_CHECK_OP(a, b, >=)
+
+/// Aborts when a Status-returning expression fails. Setup-time helper for
+/// examples and benches where errors are programming mistakes.
+#define SPARDL_CHECK_OK(expr)                                         \
+  do {                                                                \
+    ::spardl::Status _spardl_st = (expr);                             \
+    SPARDL_CHECK(_spardl_st.ok()) << _spardl_st.ToString();           \
+  } while (false)
+
+/// Debug-only checks for hot paths (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define SPARDL_DCHECK(condition) \
+  while (false) SPARDL_CHECK(condition)
+#define SPARDL_DCHECK_EQ(a, b) SPARDL_DCHECK((a) == (b))
+#define SPARDL_DCHECK_LT(a, b) SPARDL_DCHECK((a) < (b))
+#define SPARDL_DCHECK_LE(a, b) SPARDL_DCHECK((a) <= (b))
+#else
+#define SPARDL_DCHECK(condition) SPARDL_CHECK(condition)
+#define SPARDL_DCHECK_EQ(a, b) SPARDL_CHECK_EQ(a, b)
+#define SPARDL_DCHECK_LT(a, b) SPARDL_CHECK_LT(a, b)
+#define SPARDL_DCHECK_LE(a, b) SPARDL_CHECK_LE(a, b)
+#endif
+
+#endif  // SPARDL_COMMON_LOGGING_H_

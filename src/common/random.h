@@ -1,0 +1,104 @@
+#ifndef SPARDL_COMMON_RANDOM_H_
+#define SPARDL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace spardl {
+
+/// Deterministic 64-bit PRNG (SplitMix64 seeded xoshiro256**).
+///
+/// The standard `<random>` engines are not guaranteed to produce identical
+/// streams across standard-library implementations; experiments in this repo
+/// must be bit-reproducible everywhere, so we ship our own small generator.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  result_type operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (mean 0, stddev 1).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * __builtin_sin(theta);
+    has_cached_gaussian_ = true;
+    return r * __builtin_cos(theta);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_COMMON_RANDOM_H_

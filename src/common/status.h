@@ -1,0 +1,145 @@
+#ifndef SPARDL_COMMON_STATUS_H_
+#define SPARDL_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace spardl {
+
+/// Error categories used across the SparDL library.
+///
+/// SparDL follows the RocksDB/Arrow convention of returning `Status` (or
+/// `Result<T>`) from fallible setup-time operations instead of throwing
+/// exceptions. Hot-path invariant violations use `SPARDL_CHECK` instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kNotFound,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// Cheap to copy in the success case (no allocation); error carries a
+/// message. Typical use:
+///
+/// ```
+/// Status s = config.Validate();
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper, analogous to `arrow::Result<T>`.
+///
+/// Accessing the value of an errored `Result` aborts the process (this is a
+/// programming error, mirroring `SPARDL_CHECK` semantics).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `Result<int> r = 3;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; `Status::OK()` if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieBadResultAccess(std::get<Status>(value_));
+}
+
+/// Propagates a non-OK status out of the current function.
+#define SPARDL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::spardl::Status _spardl_status = (expr);      \
+    if (!_spardl_status.ok()) return _spardl_status; \
+  } while (false)
+
+}  // namespace spardl
+
+#endif  // SPARDL_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#include "core/chunk_adjuster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+ChunkAdjuster::ChunkAdjuster(size_t k, int num_workers, int num_teams) {
+  SPARDL_CHECK_GT(k, 0u);
+  SPARDL_CHECK_GT(num_workers, 0);
+  SPARDL_CHECK_GT(num_teams, 1);
+  const double kd = static_cast<double>(k);
+  const double p = static_cast<double>(num_workers);
+  const double d = static_cast<double>(num_teams);
+  h_min_ = kd / p;
+  h_max_ = d * kd / p;
+  target_ = d * kd / p;
+  h_ = h_min_;  // initial h = k/P (Algorithm 2 line 1)
+  step_ = 0.01 * kd * (d - 1.0) / p;  // initial step, positive direction
+}
+
+size_t ChunkAdjuster::CurrentH() const {
+  const double clamped = std::clamp(h_, h_min_, h_max_);
+  const long long rounded = std::llround(clamped);
+  return static_cast<size_t>(rounded < 1 ? 1 : rounded);
+}
+
+size_t ChunkAdjuster::TargetL() const {
+  const long long rounded = std::llround(target_);
+  return static_cast<size_t>(rounded < 1 ? 1 : rounded);
+}
+
+void ChunkAdjuster::Observe(size_t union_size) {
+  const bool too_many = static_cast<double>(union_size) > target_;
+  const bool direction_positive = step_ > 0.0;
+  // XOR true (Algorithm 2 line 3): still moving toward the target — keep
+  // the direction, doubling after two consecutive confirmations.
+  if (too_many != direction_positive) {
+    if (flag_) {
+      step_ *= 2.0;
+      flag_ = false;
+    } else {
+      flag_ = true;
+    }
+  } else {
+    // Overshot: reverse and halve.
+    step_ = -step_ * 0.5;
+    flag_ = false;
+  }
+  h_ = std::clamp(h_ + step_, h_min_, h_max_);
+}
+
+}  // namespace spardl

@@ -1,0 +1,46 @@
+#ifndef SPARDL_CORE_CHUNK_ADJUSTER_H_
+#define SPARDL_CORE_CHUNK_ADJUSTER_H_
+
+#include <cstddef>
+
+namespace spardl {
+
+/// The compression-ratio adjustment algorithm for B-SAG (paper Algorithm 2).
+///
+/// B-SAG sends each worker's top-h entries into the inter-team Bruck
+/// all-gather; the union of the d received chunks should land near
+/// L(k, d, P) = d*k/P. This controller — modelled on TCP's congestion
+/// window — nudges h after every iteration: keep moving while the observed
+/// union is on the far side of L, double the step after two consecutive
+/// same-direction moves, halve and reverse on overshoot. h is clamped to
+/// the analytical range [k/P, d*k/P] (fully-disjoint vs fully-overlapping
+/// worker supports).
+class ChunkAdjuster {
+ public:
+  /// `k` is the global budget, `num_workers` = P, `num_teams` = d (> 1).
+  ChunkAdjuster(size_t k, int num_workers, int num_teams);
+
+  /// Current per-worker send budget h (entries), rounded and clamped.
+  size_t CurrentH() const;
+
+  /// Feed the union size observed after this iteration's B-SAG; updates h
+  /// for the next iteration (Algorithm 2 lines 3-12).
+  void Observe(size_t union_size);
+
+  /// Analytical target L(k, d, P) = d*k/P (at least 1).
+  size_t TargetL() const;
+
+  double step() const { return step_; }
+
+ private:
+  double h_min_;
+  double h_max_;
+  double target_;
+  double h_;
+  double step_;
+  bool flag_ = false;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_CORE_CHUNK_ADJUSTER_H_

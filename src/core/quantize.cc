@@ -1,0 +1,52 @@
+#include "core/quantize.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+bool IsSupportedQuantization(int bits) {
+  return bits == 4 || bits == 8 || bits == 16 || bits == 32;
+}
+
+size_t QuantizedWireWords(size_t entries, int bits) {
+  SPARDL_DCHECK(IsSupportedQuantization(bits));
+  if (bits == 32) return 2 * entries;
+  // 4 index bytes + bits/8 value bytes per entry + 4 scale bytes.
+  const size_t bytes = entries * (4 + static_cast<size_t>(bits) / 8) + 4;
+  return (bytes + 3) / 4;
+}
+
+void QuantizeDequantize(SparseVector* vec, int bits, SparseVector* error) {
+  SPARDL_CHECK(IsSupportedQuantization(bits));
+  if (error != nullptr) error->Clear();
+  if (bits == 32 || vec->empty()) return;
+
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < vec->size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(vec->value(i)));
+  }
+  if (max_abs == 0.0f) return;
+
+  // Symmetric levels in [-max_abs, max_abs]; deterministic
+  // round-to-nearest keeps replicas bit-identical.
+  const int levels = (1 << (bits - 1)) - 1;
+  const float scale = max_abs / static_cast<float>(levels);
+
+  SparseVector quantized;
+  quantized.Reserve(vec->size());
+  if (error != nullptr) error->Reserve(vec->size());
+  for (size_t i = 0; i < vec->size(); ++i) {
+    const float original = vec->value(i);
+    const float q = std::round(original / scale);
+    const float dequantized = q * scale;
+    quantized.PushBack(vec->index(i), dequantized);
+    if (error != nullptr && original != dequantized) {
+      error->PushBack(vec->index(i), original - dequantized);
+    }
+  }
+  *vec = std::move(quantized);
+}
+
+}  // namespace spardl

@@ -1,0 +1,37 @@
+#ifndef SPARDL_CORE_QUANTIZE_H_
+#define SPARDL_CORE_QUANTIZE_H_
+
+#include <cstddef>
+
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// Value quantization for sparse gradients — the paper's §VI future-work
+/// item "combining with quantization methods", implemented as an optional
+/// SparDL stage.
+///
+/// Values are quantized to `bits`-bit signed integers with a per-message
+/// max-|v| scale (QSGD-style deterministic rounding), shrinking a COO entry
+/// from 2 words (index + fp32) to 1 + bits/32 words on the wire. The
+/// quantization error can be fed back through the residual store, so the
+/// error-feedback convergence guarantees carry over.
+
+/// Quantizes `vec`'s values in place to `bits` in {4, 8, 16} (32 = no-op)
+/// and immediately dequantizes them — exactly what the receiver would
+/// decode. If `error` is non-null it receives (original - dequantized) on
+/// the same support, for residual feedback.
+void QuantizeDequantize(SparseVector* vec, int bits,
+                        SparseVector* error = nullptr);
+
+/// Wire words for `entries` COO entries at `bits`-bit values: a 4-byte
+/// index plus bits/8 bytes of value per entry, plus one word for the
+/// scale, rounded up.
+size_t QuantizedWireWords(size_t entries, int bits);
+
+/// True for the supported widths {4, 8, 16, 32}.
+bool IsSupportedQuantization(int bits);
+
+}  // namespace spardl
+
+#endif  // SPARDL_CORE_QUANTIZE_H_

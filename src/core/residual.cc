@@ -1,0 +1,91 @@
+#include "core/residual.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+const char* ResidualModeName(ResidualMode mode) {
+  switch (mode) {
+    case ResidualMode::kGlobal:
+      return "GRES";
+    case ResidualMode::kPartial:
+      return "PRES";
+    case ResidualMode::kLocal:
+      return "LRES";
+    case ResidualMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+ResidualStore::ResidualStore(size_t n, ResidualMode mode) : mode_(mode) {
+  if (mode != ResidualMode::kNone) {
+    SPARDL_CHECK_GT(n, 0u);
+    dense_.assign(n, 0.0f);
+  }
+}
+
+void ResidualStore::ApplyAndReset(std::span<float> grad) {
+  if (mode_ == ResidualMode::kNone) return;
+  SPARDL_CHECK_EQ(grad.size(), dense_.size());
+  for (size_t i = 0; i < dense_.size(); ++i) {
+    if (dense_[i] != 0.0f) {
+      grad[i] += dense_[i];
+      dense_[i] = 0.0f;
+    }
+  }
+  pending_.clear();
+}
+
+void ResidualStore::AddLocalDiscard(const SparseVector& discarded) {
+  if (mode_ == ResidualMode::kNone) return;
+  discarded.AddToDense(dense_);
+}
+
+void ResidualStore::AddCommDiscard(const SparseVector& discarded,
+                                   float scale) {
+  switch (mode_) {
+    case ResidualMode::kNone:
+    case ResidualMode::kLocal:
+      return;  // dropped
+    case ResidualMode::kPartial:
+      pending_.emplace_back(discarded, scale);
+      return;
+    case ResidualMode::kGlobal:
+      for (size_t i = 0; i < discarded.size(); ++i) {
+        dense_[discarded.index(i)] += scale * discarded.value(i);
+      }
+      return;
+  }
+}
+
+void ResidualStore::FinishIteration(const SparseVector& final_global) {
+  if (mode_ != ResidualMode::kPartial) return;
+  // Keep only end-procedure residuals: discards whose index never made it
+  // into the final global gradient.
+  const auto final_indices = final_global.indices();
+  for (const auto& [discarded, scale] : pending_) {
+    for (size_t i = 0; i < discarded.size(); ++i) {
+      const GradIndex idx = discarded.index(i);
+      const bool survived = std::binary_search(final_indices.begin(),
+                                               final_indices.end(), idx);
+      if (!survived) {
+        dense_[idx] += scale * discarded.value(i);
+      }
+    }
+  }
+  pending_.clear();
+}
+
+double ResidualStore::MassSum() const {
+  double s = 0.0;
+  for (float v : dense_) s += v;
+  for (const auto& [vec, scale] : pending_) {
+    s += scale * vec.ValueSum();
+  }
+  return s;
+}
+
+}  // namespace spardl

@@ -1,0 +1,79 @@
+#ifndef SPARDL_CORE_RESIDUAL_H_
+#define SPARDL_CORE_RESIDUAL_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// Which discarded gradients a worker accumulates for error feedback
+/// (paper §III-C and the Fig. 17 ablation).
+enum class ResidualMode {
+  /// GRES — the paper's contribution: local + end-procedure +
+  /// *in-procedure* residuals (every entry dropped by any top-k anywhere).
+  kGlobal,
+  /// PRES — Ok-Topk/gTopk style: local + end-procedure residuals only
+  /// (communication discards whose index still appears in the final global
+  /// gradient are lost).
+  kPartial,
+  /// LRES — DGC style: only the local pre-communication discards.
+  kLocal,
+  /// No collection at all; skips the O(n) accumulator entirely. For
+  /// communication-cost benches on paper-scale models.
+  kNone,
+};
+
+const char* ResidualModeName(ResidualMode mode);
+
+/// Per-worker residual accumulator implementing all three collection
+/// policies behind one interface, so SparDL's communication code is policy-
+/// agnostic.
+///
+/// Usage per iteration:
+///   1. ApplyAndReset(grad)  — error feedback: grad += residual, clear.
+///   2. AddLocalDiscard(...) for the pre-communication sparsification.
+///   3. AddCommDiscard(..., scale) for every mid-communication top-k drop.
+///      `scale` de-duplicates symmetric discards: 1 for worker-unique data,
+///      1/2^step inside R-SAG's doubling exchange, 1/d after B-SAG's final
+///      shared selection.
+///   4. FinishIteration(final_global) — PRES filters its buffer to
+///      end-procedure entries (index absent from the final gradient).
+class ResidualStore {
+ public:
+  /// `n` may be 0 only for kNone.
+  ResidualStore(size_t n, ResidualMode mode);
+
+  ResidualMode mode() const { return mode_; }
+
+  /// grad += residual; residual = 0. Call first in every iteration.
+  void ApplyAndReset(std::span<float> grad);
+
+  /// Entries dropped by the worker's own pre-communication sparsification.
+  void AddLocalDiscard(const SparseVector& discarded);
+
+  /// Entries dropped by a sparsification during communication.
+  void AddCommDiscard(const SparseVector& discarded, float scale);
+
+  /// End-of-iteration hook; `final_global` is the synchronised gradient.
+  void FinishIteration(const SparseVector& final_global);
+
+  /// Signed sum of everything currently stored (mass-conservation tests).
+  double MassSum() const;
+
+  /// The dense accumulator (empty for kNone).
+  std::span<const float> dense() const { return dense_; }
+
+ private:
+  ResidualMode mode_;
+  std::vector<float> dense_;
+  // PRES: communication discards buffered until FinishIteration.
+  std::vector<std::pair<SparseVector, float>> pending_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_CORE_RESIDUAL_H_

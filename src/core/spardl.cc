@@ -1,0 +1,175 @@
+#include "core/spardl.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "collectives/sparse_allgather.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/quantize.h"
+#include "core/spar_all_gather.h"
+#include "core/spar_reduce_scatter.h"
+
+namespace spardl {
+
+namespace {
+
+bool IsPowerOfTwo(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+size_t TargetL(const SparDLConfig& config) {
+  // L(k, d, P) = d*k/P: the per-block budget of the team-level partition.
+  const size_t team_size =
+      static_cast<size_t>(config.num_workers / config.num_teams);
+  return std::max<size_t>(1, (config.k + team_size - 1) / team_size);
+}
+
+}  // namespace
+
+Status SparDLConfig::Validate() const {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument(
+        StrFormat("k must be in [1, n]; got k=%zu n=%zu", k, n));
+  }
+  if (num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (num_teams <= 0) {
+    return Status::InvalidArgument("num_teams must be positive");
+  }
+  if (num_workers % num_teams != 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_teams (%d) must divide num_workers (%d)", num_teams,
+                  num_workers));
+  }
+  if (sag_mode == SagMode::kRecursive && num_teams > 1 &&
+      !IsPowerOfTwo(num_teams)) {
+    return Status::InvalidArgument(
+        StrFormat("R-SAG requires a power-of-two team count; got %d",
+                  num_teams));
+  }
+  if (!IsSupportedQuantization(value_bits)) {
+    return Status::InvalidArgument(
+        StrFormat("value_bits must be 4, 8, 16 or 32; got %d", value_bits));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SparDL>> SparDL::Create(const SparDLConfig& config) {
+  Status status = config.Validate();
+  if (!status.ok()) return status;
+  std::optional<SagMode> resolved;
+  if (config.num_teams > 1) {
+    switch (config.sag_mode) {
+      case SagMode::kAuto:
+        resolved = IsPowerOfTwo(config.num_teams) ? SagMode::kRecursive
+                                                  : SagMode::kBruck;
+        break;
+      case SagMode::kRecursive:
+      case SagMode::kBruck:
+        resolved = config.sag_mode;
+        break;
+    }
+  }
+  return std::unique_ptr<SparDL>(new SparDL(config, resolved));
+}
+
+SparDL::SparDL(const SparDLConfig& config, std::optional<SagMode> resolved)
+    : config_(config),
+      resolved_sag_(resolved),
+      residuals_(config.residual_mode == ResidualMode::kNone ? 0 : config.n,
+                 config.residual_mode) {
+  if (resolved_sag_ == SagMode::kBruck) {
+    adjuster_.emplace(config_.k, config_.num_workers, config_.num_teams);
+  }
+  if (!resolved_sag_.has_value()) {
+    name_ = "SparDL";
+  } else {
+    name_ = StrFormat(
+        "SparDL(%s, d=%d)",
+        *resolved_sag_ == SagMode::kRecursive ? "R-SAG" : "B-SAG",
+        config_.num_teams);
+  }
+  if (config_.value_bits != 32) {
+    name_ += StrFormat("+q%d", config_.value_bits);
+  }
+}
+
+SparseVector SparDL::Synchronize(Comm& comm, SparseVector block) {
+  const int team_size = config_.num_workers / config_.num_teams;
+  const int team = comm.rank() / team_size;
+  const CommGroup team_group =
+      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+
+  if (resolved_sag_.has_value()) {
+    const CommGroup cross =
+        CommGroup::SamePositionAcrossTeams(comm, config_.num_teams);
+    const size_t target_l = TargetL(config_);
+    if (*resolved_sag_ == SagMode::kRecursive) {
+      block = RSag(comm, cross, std::move(block), target_l, &residuals_);
+    } else {
+      block = BSag(comm, cross, std::move(block), target_l, &*adjuster_,
+                   &residuals_, &last_bsag_union_);
+    }
+  }
+
+  // Optional value quantization of the block every other worker will
+  // receive. Deterministic, so replicas stay identical; the error is
+  // credited to residuals (1/d weight when SAG replicated the block).
+  std::optional<PartWireWords> wire_cost;
+  if (config_.value_bits != 32) {
+    SparseVector quantization_error;
+    QuantizeDequantize(&block, config_.value_bits, &quantization_error);
+    const float scale =
+        1.0f / static_cast<float>(resolved_sag_ ? config_.num_teams : 1);
+    residuals_.AddCommDiscard(quantization_error, scale);
+    const int bits = config_.value_bits;
+    wire_cost = [bits](const SparseVector& part, int) {
+      return QuantizedWireWords(part.size(), bits);
+    };
+  }
+
+  // Final intra-team Bruck all-gather; blocks have disjoint ascending
+  // ranges, so concatenation yields the global gradient.
+  std::vector<SparseVector> parts = BruckAllGather(
+      comm, team_group, std::move(block),
+      wire_cost.has_value() ? &*wire_cost : nullptr);
+  SparseVector final_gradient = ConcatDisjoint(parts);
+  residuals_.FinishIteration(final_gradient);
+  return final_gradient;
+}
+
+SparseVector SparDL::Run(Comm& comm, std::span<float> grad) {
+  SPARDL_CHECK_EQ(grad.size(), config_.n);
+  SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  residuals_.ApplyAndReset(grad);
+
+  const int team_size = config_.num_workers / config_.num_teams;
+  const int team = comm.rank() / team_size;
+  const CommGroup team_group =
+      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+  SrsOptions options;
+  options.k = config_.k;
+  options.lazy_sparsify = config_.lazy_sparsify;
+  options.value_bits = config_.value_bits;
+  SparseVector block =
+      SparReduceScatter(comm, team_group, grad, options, &residuals_);
+  return Synchronize(comm, std::move(block));
+}
+
+SparseVector SparDL::RunOnSparse(Comm& comm, const SparseVector& candidates) {
+  SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  const int team_size = config_.num_workers / config_.num_teams;
+  const int team = comm.rank() / team_size;
+  const CommGroup team_group =
+      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+  SrsOptions options;
+  options.k = config_.k;
+  options.lazy_sparsify = config_.lazy_sparsify;
+  options.value_bits = config_.value_bits;
+  SparseVector block = SparReduceScatterOnSparse(
+      comm, team_group, candidates, config_.n, options, &residuals_);
+  return Synchronize(comm, std::move(block));
+}
+
+}  // namespace spardl

@@ -1,0 +1,50 @@
+#ifndef SPARDL_CORE_SPARSE_ALLREDUCE_H_
+#define SPARDL_CORE_SPARSE_ALLREDUCE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "simnet/comm.h"
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// The contract every sparse All-Reduce method in this repo implements
+/// (SparDL and all four baselines).
+///
+/// One instance lives on each worker and holds that worker's persistent
+/// state (residual store, threshold estimates, team layout, ...). Calls are
+/// SPMD: every worker of the cluster must call the same method in the same
+/// iteration.
+///
+/// Post-condition of both entry points: the returned global gradient — the
+/// element-wise sum of what all P workers contributed, sparsified by the
+/// method's policy — is *identical on every worker*. This is the
+/// synchronous-SGD consistency requirement; tests enforce it for every
+/// method, worker count and team count.
+class SparseAllReduce {
+ public:
+  virtual ~SparseAllReduce() = default;
+
+  /// Full training-loop entry point. `grad` is this worker's dense local
+  /// gradient of length n; the method adds its stored residuals into `grad`
+  /// (error feedback), selects, communicates, and collects new residuals.
+  virtual SparseVector Run(Comm& comm, std::span<float> grad) = 0;
+
+  /// Communication-only entry point used by the per-update-time benches:
+  /// `candidates` plays the role of the dense gradient (all other positions
+  /// are zero). No dense residual buffer is touched, so this path works for
+  /// paper-scale models (up to 133.5M parameters) without allocating O(n)
+  /// memory. Residual collection should be disabled
+  /// (ResidualMode::kNone) when using this path.
+  virtual SparseVector RunOnSparse(Comm& comm,
+                                   const SparseVector& candidates) = 0;
+
+  /// Human-readable method name ("SparDL", "Ok-Topk", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_CORE_SPARSE_ALLREDUCE_H_

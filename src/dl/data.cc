@@ -1,0 +1,257 @@
+#include "dl/data.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace spardl {
+
+namespace {
+
+// Mixes worker/batch into a unique stream seed.
+uint64_t BatchSeed(uint64_t base, int worker, int64_t batch_index) {
+  uint64_t h = base;
+  h ^= static_cast<uint64_t>(worker) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<uint64_t>(batch_index) * 0xbf58476d1ce4e5b9ULL;
+  return h;
+}
+
+class SyntheticClassification final : public Dataset {
+ public:
+  SyntheticClassification(size_t input_dim, size_t num_classes, float noise,
+                          uint64_t seed)
+      : input_dim_(input_dim),
+        num_classes_(num_classes),
+        noise_(noise),
+        seed_(seed),
+        prototypes_(num_classes, input_dim) {
+    Rng rng(seed ^ 0xabcdefULL);
+    for (float& v : prototypes_.data()) {
+      v = static_cast<float>(rng.NextGaussian());
+    }
+  }
+
+  Batch Sample(uint64_t stream_seed, size_t batch_size) const {
+    Rng rng(stream_seed);
+    Batch batch;
+    batch.inputs = Matrix(batch_size, input_dim_);
+    batch.labels.resize(batch_size);
+    for (size_t r = 0; r < batch_size; ++r) {
+      const auto label = static_cast<int>(rng.NextBounded(num_classes_));
+      batch.labels[r] = label;
+      const std::span<const float> proto =
+          prototypes_.Row(static_cast<size_t>(label));
+      std::span<float> x = batch.inputs.Row(r);
+      for (size_t i = 0; i < input_dim_; ++i) {
+        x[i] = proto[i] +
+               noise_ * static_cast<float>(rng.NextGaussian());
+      }
+    }
+    return batch;
+  }
+
+  Batch TrainBatch(int worker, int64_t batch_index,
+                   size_t batch_size) const override {
+    return Sample(BatchSeed(seed_, worker, batch_index), batch_size);
+  }
+  Batch TestBatch(size_t batch_size) const override {
+    return Sample(seed_ ^ 0x7e57ULL, batch_size);
+  }
+  TaskMetric metric() const override { return TaskMetric::kAccuracy; }
+  bool is_classification() const override { return true; }
+
+ private:
+  size_t input_dim_;
+  size_t num_classes_;
+  float noise_;
+  uint64_t seed_;
+  Matrix prototypes_;
+};
+
+class SyntheticRegression final : public Dataset {
+ public:
+  SyntheticRegression(size_t input_dim, float noise, uint64_t seed)
+      : input_dim_(input_dim),
+        hidden_(16),
+        noise_(noise),
+        seed_(seed),
+        w1_(input_dim, hidden_),
+        w2_(hidden_, 1) {
+    Rng rng(seed ^ 0x1234fULL);
+    for (float& v : w1_.data()) {
+      v = static_cast<float>(rng.NextGaussian()) /
+          std::sqrt(static_cast<float>(input_dim_));
+    }
+    for (float& v : w2_.data()) {
+      v = static_cast<float>(rng.NextGaussian()) /
+          std::sqrt(static_cast<float>(hidden_));
+    }
+  }
+
+  Batch Sample(uint64_t stream_seed, size_t batch_size) const {
+    Rng rng(stream_seed);
+    Batch batch;
+    batch.inputs = Matrix(batch_size, input_dim_);
+    batch.targets = Matrix(batch_size, 1);
+    for (size_t r = 0; r < batch_size; ++r) {
+      std::span<float> x = batch.inputs.Row(r);
+      for (size_t i = 0; i < input_dim_; ++i) {
+        x[i] = static_cast<float>(rng.NextGaussian());
+      }
+      // Teacher: y = tanh(x W1) W2 + noise.
+      float y = 0.0f;
+      for (size_t h = 0; h < hidden_; ++h) {
+        float pre = 0.0f;
+        for (size_t i = 0; i < input_dim_; ++i) pre += x[i] * w1_.At(i, h);
+        y += std::tanh(pre) * w2_.At(h, 0);
+      }
+      batch.targets.At(r, 0) =
+          y + noise_ * static_cast<float>(rng.NextGaussian());
+    }
+    return batch;
+  }
+
+  Batch TrainBatch(int worker, int64_t batch_index,
+                   size_t batch_size) const override {
+    return Sample(BatchSeed(seed_, worker, batch_index), batch_size);
+  }
+  Batch TestBatch(size_t batch_size) const override {
+    return Sample(seed_ ^ 0x7e57ULL, batch_size);
+  }
+  TaskMetric metric() const override { return TaskMetric::kLoss; }
+  bool is_classification() const override { return false; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_;
+  float noise_;
+  uint64_t seed_;
+  Matrix w1_;
+  Matrix w2_;
+};
+
+class SyntheticSequenceClassification final : public Dataset {
+ public:
+  SyntheticSequenceClassification(size_t vocab, size_t seq_len,
+                                  size_t num_classes, uint64_t seed)
+      : vocab_(vocab),
+        seq_len_(seq_len),
+        num_classes_(num_classes),
+        seed_(seed) {}
+
+  Batch Sample(uint64_t stream_seed, size_t batch_size) const {
+    Rng rng(stream_seed);
+    Batch batch;
+    batch.inputs = Matrix(batch_size, seq_len_);
+    batch.labels.resize(batch_size);
+    for (size_t r = 0; r < batch_size; ++r) {
+      const auto label = static_cast<int>(rng.NextBounded(num_classes_));
+      batch.labels[r] = label;
+      // Class c prefers tokens congruent to c modulo num_classes.
+      for (size_t t = 0; t < seq_len_; ++t) {
+        uint64_t token;
+        if (rng.NextDouble() < 0.6) {
+          const uint64_t step = vocab_ / num_classes_;
+          token = static_cast<uint64_t>(label) +
+                  num_classes_ * rng.NextBounded(step);
+        } else {
+          token = rng.NextBounded(vocab_);
+        }
+        batch.inputs.At(r, t) = static_cast<float>(token);
+      }
+    }
+    return batch;
+  }
+
+  Batch TrainBatch(int worker, int64_t batch_index,
+                   size_t batch_size) const override {
+    return Sample(BatchSeed(seed_, worker, batch_index), batch_size);
+  }
+  Batch TestBatch(size_t batch_size) const override {
+    return Sample(seed_ ^ 0x7e57ULL, batch_size);
+  }
+  TaskMetric metric() const override { return TaskMetric::kAccuracy; }
+  bool is_classification() const override { return true; }
+
+ private:
+  size_t vocab_;
+  size_t seq_len_;
+  size_t num_classes_;
+  uint64_t seed_;
+};
+
+class SyntheticLanguageModel final : public Dataset {
+ public:
+  SyntheticLanguageModel(size_t vocab, size_t seq_len, uint64_t seed)
+      : vocab_(vocab), seq_len_(seq_len), seed_(seed) {}
+
+  Batch Sample(uint64_t stream_seed, size_t batch_size) const {
+    Rng rng(stream_seed);
+    Batch batch;
+    batch.inputs = Matrix(batch_size, seq_len_);
+    batch.labels.resize(batch_size);
+    for (size_t r = 0; r < batch_size; ++r) {
+      uint64_t token = rng.NextBounded(vocab_);
+      for (size_t t = 0; t < seq_len_; ++t) {
+        batch.inputs.At(r, t) = static_cast<float>(token);
+        token = NextToken(token, &rng);
+      }
+      batch.labels[r] = static_cast<int>(token);
+    }
+    return batch;
+  }
+
+  Batch TrainBatch(int worker, int64_t batch_index,
+                   size_t batch_size) const override {
+    return Sample(BatchSeed(seed_, worker, batch_index), batch_size);
+  }
+  Batch TestBatch(size_t batch_size) const override {
+    return Sample(seed_ ^ 0x7e57ULL, batch_size);
+  }
+  TaskMetric metric() const override { return TaskMetric::kLoss; }
+  bool is_classification() const override { return true; }
+
+ private:
+  uint64_t NextToken(uint64_t token, Rng* rng) const {
+    // A mostly-deterministic chain an LSTM can learn, with 30% noise so
+    // the loss floor stays positive (as with natural language).
+    if (rng->NextDouble() < 0.7) {
+      return (token * 7 + 3) % vocab_;
+    }
+    return rng->NextBounded(vocab_);
+  }
+
+  size_t vocab_;
+  size_t seq_len_;
+  uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dataset> MakeSyntheticClassification(size_t input_dim,
+                                                     size_t num_classes,
+                                                     float noise,
+                                                     uint64_t seed) {
+  return std::make_unique<SyntheticClassification>(input_dim, num_classes,
+                                                   noise, seed);
+}
+
+std::unique_ptr<Dataset> MakeSyntheticRegression(size_t input_dim,
+                                                 float noise,
+                                                 uint64_t seed) {
+  return std::make_unique<SyntheticRegression>(input_dim, noise, seed);
+}
+
+std::unique_ptr<Dataset> MakeSyntheticSequenceClassification(
+    size_t vocab, size_t seq_len, size_t num_classes, uint64_t seed) {
+  return std::make_unique<SyntheticSequenceClassification>(
+      vocab, seq_len, num_classes, seed);
+}
+
+std::unique_ptr<Dataset> MakeSyntheticLanguageModel(size_t vocab,
+                                                    size_t seq_len,
+                                                    uint64_t seed) {
+  return std::make_unique<SyntheticLanguageModel>(vocab, seq_len, seed);
+}
+
+}  // namespace spardl

@@ -1,0 +1,72 @@
+#include "dl/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+LossResult SoftmaxCrossEntropy(const Matrix& logits,
+                               const std::vector<int>& labels) {
+  SPARDL_CHECK_EQ(logits.rows(), labels.size());
+  const size_t batch = logits.rows();
+  const size_t classes = logits.cols();
+  LossResult result;
+  result.grad = Matrix(batch, classes);
+  for (size_t r = 0; r < batch; ++r) {
+    const std::span<const float> row = logits.Row(r);
+    float max_logit = row[0];
+    for (float v : row) max_logit = std::max(max_logit, v);
+    double denom = 0.0;
+    for (float v : row) denom += std::exp(static_cast<double>(v - max_logit));
+    const auto label = static_cast<size_t>(labels[r]);
+    SPARDL_DCHECK_LT(label, classes);
+    const double log_prob =
+        static_cast<double>(row[label] - max_logit) - std::log(denom);
+    result.loss -= log_prob;
+    std::span<float> g = result.grad.Row(r);
+    for (size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(row[c] - max_logit)) / denom;
+      g[c] = static_cast<float>((p - (c == label ? 1.0 : 0.0)) /
+                                static_cast<double>(batch));
+    }
+  }
+  result.loss /= static_cast<double>(batch);
+  return result;
+}
+
+double Accuracy(const Matrix& logits, const std::vector<int>& labels) {
+  SPARDL_CHECK_EQ(logits.rows(), labels.size());
+  if (logits.rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const std::span<const float> row = logits.Row(r);
+    size_t argmax = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    if (static_cast<int>(argmax) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.rows());
+}
+
+LossResult MeanSquaredError(const Matrix& predictions,
+                            const Matrix& targets) {
+  SPARDL_CHECK_EQ(predictions.rows(), targets.rows());
+  SPARDL_CHECK_EQ(predictions.cols(), targets.cols());
+  const double count = static_cast<double>(predictions.rows()) *
+                       static_cast<double>(predictions.cols());
+  LossResult result;
+  result.grad = Matrix(predictions.rows(), predictions.cols());
+  for (size_t i = 0; i < predictions.data().size(); ++i) {
+    const double diff = static_cast<double>(predictions.data()[i]) -
+                        static_cast<double>(targets.data()[i]);
+    result.loss += diff * diff;
+    result.grad.data()[i] = static_cast<float>(2.0 * diff / count);
+  }
+  result.loss /= count;
+  return result;
+}
+
+}  // namespace spardl

@@ -1,0 +1,30 @@
+#ifndef SPARDL_DL_LOSS_H_
+#define SPARDL_DL_LOSS_H_
+
+#include <vector>
+
+#include "dl/matrix.h"
+
+namespace spardl {
+
+/// A loss evaluation: mean loss over the batch plus d(loss)/d(logits),
+/// already divided by the batch size.
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad;
+};
+
+/// Mean softmax cross-entropy against integer labels.
+LossResult SoftmaxCrossEntropy(const Matrix& logits,
+                               const std::vector<int>& labels);
+
+/// Fraction of rows whose argmax matches the label.
+double Accuracy(const Matrix& logits, const std::vector<int>& labels);
+
+/// Mean squared error against dense targets of the same shape.
+LossResult MeanSquaredError(const Matrix& predictions,
+                            const Matrix& targets);
+
+}  // namespace spardl
+
+#endif  // SPARDL_DL_LOSS_H_

@@ -1,0 +1,57 @@
+#include "dl/matrix.h"
+
+namespace spardl {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  SPARDL_CHECK_EQ(a.cols(), b.rows());
+  *out = Matrix(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float a_ip = a.At(i, p);
+      if (a_ip == 0.0f) continue;
+      const std::span<const float> b_row = b.Row(p);
+      const std::span<float> out_row = out->Row(i);
+      for (size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void MatMulBt(const Matrix& a, const Matrix& b, Matrix* out) {
+  SPARDL_CHECK_EQ(a.cols(), b.cols());
+  *out = Matrix(a.rows(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const std::span<const float> a_row = a.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const std::span<const float> b_row = b.Row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out->At(i, j) = acc;
+    }
+  }
+}
+
+void MatMulAt(const Matrix& a, const Matrix& b, Matrix* out) {
+  SPARDL_CHECK_EQ(a.rows(), b.rows());
+  *out = Matrix(a.cols(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const std::span<const float> a_row = a.Row(i);
+    const std::span<const float> b_row = b.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const std::span<float> out_row = out->Row(p);
+      for (size_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+}  // namespace spardl

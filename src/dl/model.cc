@@ -1,0 +1,59 @@
+#include "dl/model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+void Model::Add(std::unique_ptr<Layer> layer) {
+  SPARDL_CHECK(!finalized_) << "Add after Finalize";
+  layers_.push_back(std::move(layer));
+}
+
+void Model::Finalize(uint64_t seed) {
+  SPARDL_CHECK(!finalized_);
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer->num_params();
+  params_.assign(total, 0.0f);
+  grads_.assign(total, 0.0f);
+  size_t offset = 0;
+  Rng rng(seed);
+  for (const auto& layer : layers_) {
+    const size_t count = layer->num_params();
+    layer->Bind(std::span<float>(params_).subspan(offset, count),
+                std::span<float>(grads_).subspan(offset, count));
+    layer->InitParams(&rng);
+    offset += count;
+  }
+  finalized_ = true;
+}
+
+Matrix Model::Forward(const Matrix& input) {
+  SPARDL_CHECK(finalized_);
+  Matrix activation = input;
+  for (const auto& layer : layers_) {
+    activation = layer->Forward(activation);
+  }
+  return activation;
+}
+
+void Model::Backward(const Matrix& grad_out) {
+  SPARDL_CHECK(finalized_);
+  Matrix grad = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+}
+
+double Model::ParamChecksum() const {
+  double sum = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    sum += params_[i];
+    weighted += params_[i] * static_cast<double>((i % 97) + 1);
+  }
+  return sum + weighted * 1e-3;
+}
+
+}  // namespace spardl

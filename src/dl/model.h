@@ -1,0 +1,61 @@
+#ifndef SPARDL_DL_MODEL_H_
+#define SPARDL_DL_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "dl/layers.h"
+
+namespace spardl {
+
+/// A sequential model whose parameters and gradients live in single flat
+/// float buffers — the layout the sparse All-Reduce methods synchronise.
+///
+/// ```
+/// Model model;
+/// model.Add(std::make_unique<LinearLayer>(64, 128));
+/// model.Add(std::make_unique<ReluLayer>());
+/// model.Add(std::make_unique<LinearLayer>(128, 10));
+/// model.Finalize(/*seed=*/7);           // same seed on every replica
+/// ```
+class Model {
+ public:
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  void Add(std::unique_ptr<Layer> layer);
+
+  /// Allocates the flat buffers, binds layers, and initialises parameters
+  /// deterministically from `seed` (same seed => identical replicas).
+  void Finalize(uint64_t seed);
+
+  size_t num_params() const { return params_.size(); }
+  std::span<float> params() { return params_; }
+  std::span<const float> params() const { return params_; }
+  std::span<float> grads() { return grads_; }
+
+  void ZeroGrads() { std::fill(grads_.begin(), grads_.end(), 0.0f); }
+
+  /// Forward through all layers.
+  Matrix Forward(const Matrix& input);
+
+  /// Backward through all layers (input: d(loss)/d(output)); accumulates
+  /// into grads().
+  void Backward(const Matrix& grad_out);
+
+  /// Simple checksum of parameters — replicas must agree (tested).
+  double ParamChecksum() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  bool finalized_ = false;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_DL_MODEL_H_

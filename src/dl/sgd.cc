@@ -1,0 +1,49 @@
+#include "dl/sgd.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+SgdOptimizer::SgdOptimizer(size_t num_params, const SgdConfig& config)
+    : config_(config),
+      velocity_(num_params, 0.0f),
+      dense_scratch_(num_params, 0.0f) {}
+
+double SgdOptimizer::LearningRateAt(int epoch) const {
+  double lr = config_.learning_rate;
+  for (const auto& [milestone, multiplier] : config_.lr_milestones) {
+    if (epoch >= milestone) lr *= multiplier;
+  }
+  return lr;
+}
+
+void SgdOptimizer::Step(const SparseVector& global_gradient_sum,
+                        int num_workers, int epoch,
+                        std::span<float> params) {
+  SPARDL_CHECK_EQ(params.size(), velocity_.size());
+  std::fill(dense_scratch_.begin(), dense_scratch_.end(), 0.0f);
+  const float inv_p = 1.0f / static_cast<float>(num_workers);
+  for (size_t i = 0; i < global_gradient_sum.size(); ++i) {
+    dense_scratch_[global_gradient_sum.index(i)] =
+        global_gradient_sum.value(i) * inv_p;
+  }
+  StepDense(dense_scratch_, epoch, params);
+}
+
+void SgdOptimizer::StepDense(std::span<const float> gradient_mean, int epoch,
+                             std::span<float> params) {
+  SPARDL_CHECK_EQ(gradient_mean.size(), velocity_.size());
+  SPARDL_CHECK_EQ(params.size(), velocity_.size());
+  const auto lr = static_cast<float>(LearningRateAt(epoch));
+  const auto momentum = static_cast<float>(config_.momentum);
+  const auto weight_decay = static_cast<float>(config_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    const float g = gradient_mean[i] + weight_decay * params[i];
+    velocity_[i] = momentum * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+}  // namespace spardl

@@ -1,0 +1,50 @@
+#ifndef SPARDL_DL_SGD_H_
+#define SPARDL_DL_SGD_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// SGD with momentum and a step learning-rate schedule (the paper drops the
+/// LR at epoch 80 in Fig. 17).
+struct SgdConfig {
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  /// (epoch, multiplier) milestones applied to learning_rate, e.g.
+  /// {{80, 0.1}} divides the LR by 10 from epoch 80 on.
+  std::vector<std::pair<int, double>> lr_milestones;
+};
+
+/// One optimizer instance per worker replica (velocity is worker-local but
+/// stays identical across replicas because the synchronised gradient is).
+class SgdOptimizer {
+ public:
+  SgdOptimizer(size_t num_params, const SgdConfig& config);
+
+  /// Effective learning rate at `epoch`.
+  double LearningRateAt(int epoch) const;
+
+  /// Applies one update from the *summed* global sparse gradient of
+  /// `num_workers` contributions (the all-reduce output): averages, applies
+  /// momentum and weight decay, updates `params` in place.
+  void Step(const SparseVector& global_gradient_sum, int num_workers,
+            int epoch, std::span<float> params);
+
+  /// Dense-gradient variant (the no-compression baseline path).
+  void StepDense(std::span<const float> gradient_mean, int epoch,
+                 std::span<float> params);
+
+ private:
+  SgdConfig config_;
+  std::vector<float> velocity_;
+  std::vector<float> dense_scratch_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_DL_SGD_H_

@@ -1,0 +1,110 @@
+#include "dl/trainer.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dl/loss.h"
+
+namespace spardl {
+
+namespace {
+
+LossResult ComputeLoss(const Dataset& dataset, const Matrix& outputs,
+                       const Batch& batch) {
+  if (dataset.is_classification()) {
+    return SoftmaxCrossEntropy(outputs, batch.labels);
+  }
+  return MeanSquaredError(outputs, batch.targets);
+}
+
+}  // namespace
+
+TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
+                             const ModelFactory& model_factory,
+                             const AlgorithmFactory& algorithm_factory,
+                             const TrainerConfig& config) {
+  const int p = cluster.size();
+  cluster.ResetClocksAndStats();
+
+  TrainResult result;
+  result.epochs.resize(static_cast<size_t>(config.epochs));
+
+  // [epoch][rank] train-loss scratch, written SPMD, read after Run.
+  std::vector<std::vector<double>> train_loss(
+      static_cast<size_t>(config.epochs),
+      std::vector<double>(static_cast<size_t>(p), 0.0));
+  std::vector<double> checksums(static_cast<size_t>(p), 0.0);
+
+  cluster.Run([&](Comm& comm) {
+    const int rank = comm.rank();
+    const auto rank_idx = static_cast<size_t>(rank);
+    std::unique_ptr<Model> model = model_factory(config.model_seed);
+    const size_t n = model->num_params();
+    SPARDL_CHECK_GT(n, 0u);
+    std::unique_ptr<SparseAllReduce> algorithm = algorithm_factory(n);
+    SgdOptimizer optimizer(n, config.sgd);
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      const double comm_before = comm.stats().comm_seconds;
+      const double compute_before = comm.stats().compute_seconds;
+      double loss_sum = 0.0;
+      for (int iter = 0; iter < config.iterations_per_epoch; ++iter) {
+        const int64_t batch_index =
+            static_cast<int64_t>(epoch) * config.iterations_per_epoch + iter;
+        const Batch batch =
+            dataset.TrainBatch(rank, batch_index, config.batch_size);
+        model->ZeroGrads();
+        const Matrix outputs = model->Forward(batch.inputs);
+        LossResult loss = ComputeLoss(dataset, outputs, batch);
+        loss_sum += loss.loss;
+        model->Backward(loss.grad);
+        comm.Compute(config.compute_seconds_per_iteration);
+
+        const SparseVector global = algorithm->Run(comm, model->grads());
+        optimizer.Step(global, p, epoch, model->params());
+      }
+      train_loss[static_cast<size_t>(epoch)][rank_idx] =
+          loss_sum / config.iterations_per_epoch;
+
+      // Epoch boundary: align simulated clocks (the S-SGD barrier), then
+      // let rank 0 evaluate and record the scoreboard.
+      comm.BarrierSyncClocks();
+      if (rank == 0) {
+        EpochRecord& record = result.epochs[static_cast<size_t>(epoch)];
+        record.epoch = epoch;
+        record.sim_seconds_cumulative = comm.sim_now();
+        record.comm_seconds_epoch =
+            comm.stats().comm_seconds - comm_before;
+        record.compute_seconds_epoch =
+            comm.stats().compute_seconds - compute_before;
+        const Batch test = dataset.TestBatch(config.test_batch_size);
+        const Matrix outputs = model->Forward(test.inputs);
+        if (dataset.metric() == TaskMetric::kAccuracy) {
+          record.test_metric = Accuracy(outputs, test.labels);
+        } else {
+          record.test_metric = ComputeLoss(dataset, outputs, test).loss;
+        }
+      }
+      comm.Barrier();  // everyone waits for the evaluation to finish
+    }
+    checksums[rank_idx] = model->ParamChecksum();
+  });
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss = 0.0;
+    for (double l : train_loss[static_cast<size_t>(epoch)]) loss += l;
+    result.epochs[static_cast<size_t>(epoch)].train_loss = loss / p;
+  }
+
+  result.replicas_consistent = true;
+  for (int r = 1; r < p; ++r) {
+    if (checksums[static_cast<size_t>(r)] != checksums[0]) {
+      result.replicas_consistent = false;
+    }
+  }
+  result.final_param_checksum = checksums[0];
+  return result;
+}
+
+}  // namespace spardl

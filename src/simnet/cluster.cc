@@ -1,0 +1,68 @@
+#include "simnet/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+Cluster::Cluster(int size, CostModel cost_model)
+    : network_(std::make_unique<Network>(size, cost_model)) {
+  comms_.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    comms_.push_back(std::make_unique<Comm>(network_.get(), r));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(comms_.size());
+  for (auto& comm : comms_) {
+    threads.emplace_back([&worker_fn, &comm] { worker_fn(*comm); });
+  }
+  for (auto& t : threads) t.join();
+  SPARDL_CHECK(network_->AllMailboxesEmpty())
+      << "worker function left unconsumed messages in the network";
+}
+
+double Cluster::MaxSimSeconds() const {
+  double max_t = 0.0;
+  for (const auto& comm : comms_) {
+    max_t = std::max(max_t, comm->sim_now());
+  }
+  return max_t;
+}
+
+CommStats Cluster::TotalStats() const {
+  CommStats total;
+  for (const auto& comm : comms_) total += comm->stats();
+  return total;
+}
+
+uint64_t Cluster::MaxWordsReceived() const {
+  uint64_t max_words = 0;
+  for (const auto& comm : comms_) {
+    max_words = std::max(max_words, comm->stats().words_received);
+  }
+  return max_words;
+}
+
+uint64_t Cluster::MaxMessagesReceived() const {
+  uint64_t max_messages = 0;
+  for (const auto& comm : comms_) {
+    max_messages = std::max(max_messages, comm->stats().messages_received);
+  }
+  return max_messages;
+}
+
+void Cluster::ResetClocksAndStats() {
+  for (auto& comm : comms_) {
+    comm->ResetClock();
+    comm->stats().Reset();
+  }
+}
+
+}  // namespace spardl

@@ -1,0 +1,66 @@
+#ifndef SPARDL_SIMNET_CLUSTER_H_
+#define SPARDL_SIMNET_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/comm.h"
+#include "simnet/network.h"
+
+namespace spardl {
+
+/// Owns a simulated cluster: the network plus one `Comm` endpoint per
+/// worker, and runs SPMD worker functions on real threads.
+///
+/// ```
+/// Cluster cluster(14, CostModel::Ethernet());
+/// cluster.Run([&](Comm& comm) { ... SPMD code ... });
+/// double t = cluster.MaxSimSeconds();
+/// ```
+///
+/// Worker threads block on `Comm::Recv`, so the cluster works (slowly but
+/// correctly) even on a single hardware core.
+class Cluster {
+ public:
+  Cluster(int size, CostModel cost_model);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return static_cast<int>(comms_.size()); }
+  Network& network() { return *network_; }
+
+  Comm& comm(int rank) { return *comms_[static_cast<size_t>(rank)]; }
+  const Comm& comm(int rank) const {
+    return *comms_[static_cast<size_t>(rank)];
+  }
+
+  /// Runs `worker_fn(comm)` on every rank concurrently; returns when all
+  /// workers finish. CHECK failures inside workers abort the process.
+  void Run(const std::function<void(Comm&)>& worker_fn);
+
+  /// Max simulated clock across workers (the cluster's makespan).
+  double MaxSimSeconds() const;
+
+  /// Aggregated stats across all workers.
+  CommStats TotalStats() const;
+
+  /// Max per-worker received-words (the paper's per-worker bandwidth y).
+  uint64_t MaxWordsReceived() const;
+
+  /// Max per-worker received-messages (the paper's per-worker latency x).
+  uint64_t MaxMessagesReceived() const;
+
+  /// Zeroes all clocks and stats (between measured phases).
+  void ResetClocksAndStats();
+
+ private:
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_SIMNET_CLUSTER_H_

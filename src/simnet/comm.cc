@@ -1,0 +1,49 @@
+#include "simnet/comm.h"
+
+namespace spardl {
+
+CommGroup CommGroup::World(const Comm& comm) {
+  CommGroup group;
+  group.ranks.resize(static_cast<size_t>(comm.size()));
+  for (int i = 0; i < comm.size(); ++i) {
+    group.ranks[static_cast<size_t>(i)] = i;
+  }
+  group.my_pos = comm.rank();
+  return group;
+}
+
+CommGroup CommGroup::ContiguousTeam(const Comm& comm, int num_teams,
+                                    int team) {
+  SPARDL_CHECK_GT(num_teams, 0);
+  SPARDL_CHECK_EQ(comm.size() % num_teams, 0)
+      << "team count must divide the worker count (d | P)";
+  const int team_size = comm.size() / num_teams;
+  SPARDL_CHECK_GE(team, 0);
+  SPARDL_CHECK_LT(team, num_teams);
+  CommGroup group;
+  group.ranks.resize(static_cast<size_t>(team_size));
+  for (int i = 0; i < team_size; ++i) {
+    group.ranks[static_cast<size_t>(i)] = team * team_size + i;
+  }
+  group.my_pos = comm.rank() - team * team_size;
+  return group;
+}
+
+CommGroup CommGroup::SamePositionAcrossTeams(const Comm& comm,
+                                             int num_teams) {
+  SPARDL_CHECK_GT(num_teams, 0);
+  SPARDL_CHECK_EQ(comm.size() % num_teams, 0)
+      << "team count must divide the worker count (d | P)";
+  const int team_size = comm.size() / num_teams;
+  const int my_team = comm.rank() / team_size;
+  const int my_position = comm.rank() % team_size;
+  CommGroup group;
+  group.ranks.resize(static_cast<size_t>(num_teams));
+  for (int t = 0; t < num_teams; ++t) {
+    group.ranks[static_cast<size_t>(t)] = t * team_size + my_position;
+  }
+  group.my_pos = my_team;
+  return group;
+}
+
+}  // namespace spardl

@@ -1,0 +1,145 @@
+#ifndef SPARDL_SIMNET_COMM_H_
+#define SPARDL_SIMNET_COMM_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "simnet/comm_stats.h"
+#include "simnet/network.h"
+
+namespace spardl {
+
+/// One worker's endpoint into the simulated cluster: point-to-point
+/// messaging plus the worker's simulated clock.
+///
+/// Clock semantics (the α-β model, §II of the paper):
+///  * `Send` is free for the sender (full-duplex single-port: injecting a
+///    message overlaps with whatever the sender does next) and stamps the
+///    packet with the sender's current clock.
+///  * `Recv` advances the receiver to
+///    `max(local_clock, sent_at) + alpha + beta * words` — a message cannot
+///    be consumed before it was produced, and every receive pays one alpha
+///    plus beta per word. Receives therefore serialise on the receiver,
+///    which reproduces the paper's `P*alpha` charge for direct-send phases
+///    and the `log P * alpha` charge for exchange-round algorithms.
+///  * `Compute` charges local (non-communication) simulated time.
+///
+/// All SparDL algorithms and baselines are written SPMD against this class,
+/// exactly as they would be against an MPI communicator.
+class Comm {
+ public:
+  Comm(Network* network, int rank)
+      : network_(network), rank_(rank), size_(network->size()) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  double sim_now() const { return sim_now_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Sends `payload` to `dst`. Never blocks. `words_override`, when
+  /// non-zero, replaces the payload's natural wire size — used to model
+  /// alternative encodings (e.g. TopkDSA shipping a densified block as
+  /// `width` dense words instead of `2 * nnz` COO words).
+  void Send(int dst, Payload payload, int tag = 0,
+            size_t words_override = 0) {
+    SPARDL_DCHECK(dst != rank_) << "self-send";
+    const size_t words =
+        words_override != 0 ? words_override : PayloadWords(payload);
+    stats_.messages_sent += 1;
+    stats_.words_sent += words;
+    network_->Post(rank_, dst,
+                   Packet{std::move(payload), words, sim_now_, tag});
+  }
+
+  /// Blocks until a message with `tag` arrives from `src`; advances the
+  /// clock per the α-β model and returns the payload.
+  Payload Recv(int src, int tag = 0) {
+    SPARDL_DCHECK(src != rank_) << "self-recv";
+    Packet packet = network_->Take(src, rank_, tag);
+    const double before = sim_now_;
+    const double ready = packet.sent_at > sim_now_ ? packet.sent_at : sim_now_;
+    sim_now_ = ready +
+               network_->cost_model().MessageSeconds(packet.words) *
+                   network_->WorkerSlowdown(rank_);
+    stats_.messages_received += 1;
+    stats_.words_received += packet.words;
+    stats_.comm_seconds += sim_now_ - before;
+    return std::move(packet.payload);
+  }
+
+  /// Typed receive; CHECK-fails if the payload holds a different type.
+  template <typename T>
+  T RecvAs(int src, int tag = 0) {
+    Payload payload = Recv(src, tag);
+    T* value = std::get_if<T>(&payload);
+    SPARDL_CHECK(value != nullptr)
+        << "rank " << rank_ << ": payload type mismatch from " << src;
+    return std::move(*value);
+  }
+
+  /// Send to `send_peer` and receive from `recv_peer` in one round.
+  template <typename T>
+  T ExchangeAs(int send_peer, int recv_peer, Payload payload, int tag = 0) {
+    Send(send_peer, std::move(payload), tag);
+    return RecvAs<T>(recv_peer, tag);
+  }
+
+  /// Charges `seconds` of local computation to the simulated clock.
+  void Compute(double seconds) {
+    SPARDL_DCHECK(seconds >= 0.0);
+    sim_now_ += seconds;
+    stats_.compute_seconds += seconds;
+  }
+
+  /// Rendezvous with all workers (no simulated-time effect).
+  void Barrier() { network_->BarrierWait(); }
+
+  /// Rendezvous and align every worker's clock to the cluster-wide max —
+  /// the synchronisation point at the end of an S-SGD iteration.
+  void BarrierSyncClocks() {
+    sim_now_ = network_->MaxClockSync(rank_, sim_now_);
+  }
+
+  /// Test/bench hook: reset the clock (call on all ranks between runs).
+  void ResetClock(double value = 0.0) { sim_now_ = value; }
+
+ private:
+  Network* network_;
+  int rank_;
+  int size_;
+  double sim_now_ = 0.0;
+  CommStats stats_;
+};
+
+/// A contiguous-team view over a communicator: `ranks[i]` is the global rank
+/// of group position i. SparDL's team-based algorithms (SRS within a team,
+/// SAG across teams) run on groups.
+struct CommGroup {
+  std::vector<int> ranks;
+  int my_pos = 0;
+
+  int size() const { return static_cast<int>(ranks.size()); }
+  int GlobalRank(int pos) const { return ranks[static_cast<size_t>(pos)]; }
+
+  /// The whole cluster as one group.
+  static CommGroup World(const Comm& comm);
+
+  /// Team `team` of `num_teams` equal contiguous teams; workers
+  /// t*(P/d) .. (t+1)*(P/d)-1. CHECK-fails unless num_teams divides P.
+  static CommGroup ContiguousTeam(const Comm& comm, int num_teams, int team);
+
+  /// The cross-team group of all workers sharing this worker's position
+  /// within its team (one worker per team, ordered by team id).
+  static CommGroup SamePositionAcrossTeams(const Comm& comm, int num_teams);
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_SIMNET_COMM_H_

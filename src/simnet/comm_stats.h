@@ -1,0 +1,41 @@
+#ifndef SPARDL_SIMNET_COMM_STATS_H_
+#define SPARDL_SIMNET_COMM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spardl {
+
+/// Per-worker communication counters, accumulated by `Comm`.
+///
+/// `messages_received` counts latency units (each receive costs one alpha on
+/// the receiving worker's critical path); `words_received` counts bandwidth
+/// units (the paper's y in x*alpha + y*beta). Table I validation compares
+/// these directly against the closed-form expressions.
+struct CommStats {
+  uint64_t messages_sent = 0;
+  uint64_t words_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t words_received = 0;
+
+  /// Simulated seconds spent in Recv (waiting + transfer).
+  double comm_seconds = 0.0;
+  /// Simulated seconds charged via Comm::Compute.
+  double compute_seconds = 0.0;
+
+  void Reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& other) {
+    messages_sent += other.messages_sent;
+    words_sent += other.words_sent;
+    messages_received += other.messages_received;
+    words_received += other.words_received;
+    comm_seconds += other.comm_seconds;
+    compute_seconds += other.compute_seconds;
+    return *this;
+  }
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_SIMNET_COMM_STATS_H_

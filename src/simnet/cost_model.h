@@ -1,0 +1,41 @@
+#ifndef SPARDL_SIMNET_COST_MODEL_H_
+#define SPARDL_SIMNET_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace spardl {
+
+/// The latency (alpha) - bandwidth (beta) communication cost model the paper
+/// uses for all of its analysis (§II, Table I).
+///
+/// A message transfer costs `alpha + beta * words`, where a "word" is one
+/// 4-byte gradient value; a sparse COO entry (index + value) costs 2 words.
+/// The simulated network charges exactly this, so measured simulated time
+/// reproduces the paper's complexity terms by construction.
+struct CostModel {
+  /// Per-message fixed cost, seconds.
+  double alpha = 100e-6;
+  /// Per-word (4 bytes) transfer cost, seconds.
+  double beta = 32e-9;
+
+  /// Total cost of transferring one message of `words` 4-byte words.
+  double MessageSeconds(size_t words) const {
+    return alpha + beta * static_cast<double>(words);
+  }
+
+  /// 1 Gbps TCP Ethernet with typical kernel-stack latency — the paper's
+  /// main 14-machine cluster ("connected to an Ethernet with default
+  /// setting").
+  static CostModel Ethernet() { return CostModel{100e-6, 32e-9}; }
+
+  /// 100 Gbps InfiniBand with RDMA — the paper's 5-machine A800 cluster
+  /// (§IV-J). Two orders of magnitude lower latency, ~100x bandwidth.
+  static CostModel InfiniBandRdma() { return CostModel{2e-6, 0.32e-9}; }
+
+  /// Zero-cost model; useful in unit tests that only check data movement.
+  static CostModel Free() { return CostModel{0.0, 0.0}; }
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_SIMNET_COST_MODEL_H_

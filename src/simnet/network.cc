@@ -1,0 +1,113 @@
+#include "simnet/network.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+size_t PayloadWords(const Payload& payload) {
+  struct Visitor {
+    size_t operator()(const SparseVector& v) const { return v.WireWords(); }
+    size_t operator()(const std::vector<SparseVector>& parts) const {
+      size_t words = 0;
+      for (const SparseVector& p : parts) words += p.WireWords();
+      return words;
+    }
+    size_t operator()(const std::vector<float>& v) const { return v.size(); }
+    size_t operator()(const std::vector<uint32_t>& v) const {
+      return v.size();
+    }
+    size_t operator()(double) const { return 1; }
+    size_t operator()(int64_t) const { return 1; }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+Network::Network(int size, CostModel cost_model)
+    : size_(size), cost_model_(cost_model) {
+  SPARDL_CHECK_GE(size, 1);
+  mailboxes_.resize(static_cast<size_t>(size) * static_cast<size_t>(size));
+  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+}
+
+void Network::SetWorkerSlowdown(int rank, double factor) {
+  SPARDL_CHECK(rank >= 0 && rank < size_);
+  SPARDL_CHECK_GT(factor, 0.0);
+  if (worker_slowdown_.empty()) {
+    worker_slowdown_.assign(static_cast<size_t>(size_), 1.0);
+  }
+  worker_slowdown_[static_cast<size_t>(rank)] = factor;
+}
+
+void Network::Post(int src, int dst, Packet packet) {
+  SPARDL_DCHECK(src >= 0 && src < size_);
+  SPARDL_DCHECK(dst >= 0 && dst < size_);
+  Mailbox& box = BoxFor(src, dst);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(packet));
+  }
+  box.cv.notify_all();
+}
+
+Packet Network::Take(int src, int dst, int tag) {
+  Mailbox& box = BoxFor(src, dst);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(recv_timeout_seconds_));
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->tag == tag) {
+        Packet packet = std::move(*it);
+        box.queue.erase(it);
+        return packet;
+      }
+    }
+    SPARDL_CHECK(box.cv.wait_until(lock, deadline) !=
+                 std::cv_status::timeout)
+        << "Recv timed out: dst=" << dst << " waiting on src=" << src
+        << " tag=" << tag << " — collective deadlock?";
+  }
+}
+
+void Network::BarrierWait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+}
+
+double Network::MaxClockSync(int rank, double value) {
+  (void)rank;
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  const uint64_t my_generation = sync_generation_;
+  if (value > sync_max_) sync_max_ = value;
+  if (++sync_count_ == size_) {
+    sync_result_ = sync_max_;
+    sync_max_ = 0.0;
+    sync_count_ = 0;
+    ++sync_generation_;
+    sync_cv_.notify_all();
+    return sync_result_;
+  }
+  sync_cv_.wait(lock, [&] { return sync_generation_ != my_generation; });
+  return sync_result_;
+}
+
+bool Network::AllMailboxesEmpty() const {
+  for (const auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    if (!box->queue.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace spardl

@@ -1,0 +1,127 @@
+#ifndef SPARDL_SIMNET_NETWORK_H_
+#define SPARDL_SIMNET_NETWORK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <variant>
+#include <vector>
+
+#include "simnet/cost_model.h"
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// Message payloads the simulated network can carry.
+///
+/// A closed variant (rather than opaque bytes) keeps the simulator type-safe
+/// and avoids serialisation costs that would pollute wall-clock timing; the
+/// wire size is still charged from the logical encoding (COO entry = 2
+/// words, dense float = 1 word).
+using Payload =
+    std::variant<SparseVector, std::vector<SparseVector>, std::vector<float>,
+                 std::vector<uint32_t>, double, int64_t>;
+
+/// Number of 4-byte wire words `payload` occupies.
+size_t PayloadWords(const Payload& payload);
+
+/// A message in flight.
+struct Packet {
+  Payload payload;
+  size_t words = 0;
+  /// Sender's simulated clock when the send was issued.
+  double sent_at = 0.0;
+  int tag = 0;
+};
+
+/// The in-process interconnect: one FIFO mailbox per (src, dst) pair.
+///
+/// Thread-safe; each of the P worker threads owns one endpoint (see `Comm`).
+/// Blocking receives time out after `recv_timeout_seconds` of *wall* time
+/// and abort the process — a hung collective is always a bug, and a loud
+/// failure beats a silent deadlock in CI.
+class Network {
+ public:
+  Network(int size, CostModel cost_model);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int size() const { return size_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  void set_recv_timeout_seconds(double seconds) {
+    recv_timeout_seconds_ = seconds;
+  }
+
+  /// Heterogeneous-cluster support (the paper's §VI extension): scales the
+  /// per-message cost on `rank`'s receive path by `factor` (>= 1 models a
+  /// straggler with a slower NIC/placement). Set before running workers.
+  void SetWorkerSlowdown(int rank, double factor);
+  double WorkerSlowdown(int rank) const {
+    return worker_slowdown_.empty()
+               ? 1.0
+               : worker_slowdown_[static_cast<size_t>(rank)];
+  }
+
+  /// Deposits a packet into the (src, dst) mailbox.
+  void Post(int src, int dst, Packet packet);
+
+  /// Blocks until a packet with `tag` from `src` to `dst` is available and
+  /// removes it. Packets with the same tag are delivered FIFO.
+  Packet Take(int src, int dst, int tag);
+
+  /// Reusable rendezvous for all `size` workers. `slot` lets callers use
+  /// the two-phase max-clock sync without races.
+  void BarrierWait();
+
+  /// Publishes `value` to a per-rank slot and returns the max over all
+  /// ranks once everyone has published (used to align simulated clocks).
+  double MaxClockSync(int rank, double value);
+
+  /// True if every mailbox is empty (test hook: no stray messages).
+  bool AllMailboxesEmpty() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Packet> queue;
+  };
+
+  Mailbox& BoxFor(int src, int dst) {
+    return *mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
+                       static_cast<size_t>(dst)];
+  }
+  const Mailbox& BoxFor(int src, int dst) const {
+    return *mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
+                       static_cast<size_t>(dst)];
+  }
+
+  int size_;
+  CostModel cost_model_;
+  double recv_timeout_seconds_ = 120.0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<double> worker_slowdown_;  // empty = homogeneous
+
+  // Reusable barrier (generation-counted; std::barrier needs a fixed
+  // completion type, a hand-rolled one is simpler to reuse).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  uint64_t barrier_generation_ = 0;
+
+  // Max-clock sync state.
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  int sync_count_ = 0;
+  double sync_max_ = 0.0;
+  double sync_result_ = 0.0;
+  uint64_t sync_generation_ = 0;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_SIMNET_NETWORK_H_

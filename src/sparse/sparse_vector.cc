@@ -1,0 +1,127 @@
+#include "sparse/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace spardl {
+
+SparseVector::SparseVector(std::vector<GradIndex> indices,
+                           std::vector<float> values)
+    : indices_(std::move(indices)), values_(std::move(values)) {
+  SPARDL_CHECK_EQ(indices_.size(), values_.size());
+  for (size_t i = 1; i < indices_.size(); ++i) {
+    SPARDL_CHECK_LT(indices_[i - 1], indices_[i])
+        << "SparseVector indices must be strictly ascending";
+  }
+}
+
+SparseVector SparseVector::FromDense(std::span<const float> dense,
+                                     GradIndex base_index) {
+  SparseVector out;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0f) {
+      out.PushBack(base_index + static_cast<GradIndex>(i), dense[i]);
+    }
+  }
+  return out;
+}
+
+double SparseVector::ValueSum() const {
+  double s = 0.0;
+  for (float v : values_) s += v;
+  return s;
+}
+
+double SparseVector::AbsSum() const {
+  double s = 0.0;
+  for (float v : values_) s += std::fabs(v);
+  return s;
+}
+
+bool SparseVector::IndicesWithin(GradIndex lo, GradIndex hi) const {
+  if (empty()) return true;
+  return indices_.front() >= lo && indices_.back() < hi;
+}
+
+void SparseVector::AddToDense(std::span<float> dense) const {
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    SPARDL_DCHECK_LT(indices_[i], dense.size());
+    dense[indices_[i]] += values_[i];
+  }
+}
+
+void SparseVector::ScatterToDense(std::span<float> dense) const {
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    SPARDL_DCHECK_LT(indices_[i], dense.size());
+    dense[indices_[i]] = values_[i];
+  }
+}
+
+void SparseVector::ExtractRange(GradIndex lo, GradIndex hi,
+                                SparseVector* out) const {
+  const auto begin =
+      std::lower_bound(indices_.begin(), indices_.end(), lo);
+  const auto end = std::lower_bound(begin, indices_.end(), hi);
+  const size_t from = static_cast<size_t>(begin - indices_.begin());
+  const size_t count = static_cast<size_t>(end - begin);
+  for (size_t i = 0; i < count; ++i) {
+    out->PushBack(indices_[from + i], values_[from + i]);
+  }
+}
+
+void MergeSum(const SparseVector& a, const SparseVector& b,
+              SparseVector* out) {
+  SPARDL_DCHECK(out != &a && out != &b);
+  out->Clear();
+  out->Reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const GradIndex ia = a.index(i);
+    const GradIndex ib = b.index(j);
+    if (ia < ib) {
+      out->PushBack(ia, a.value(i));
+      ++i;
+    } else if (ib < ia) {
+      out->PushBack(ib, b.value(j));
+      ++j;
+    } else {
+      out->PushBack(ia, a.value(i) + b.value(j));
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out->PushBack(a.index(i), a.value(i));
+  for (; j < b.size(); ++j) out->PushBack(b.index(j), b.value(j));
+}
+
+void MergeSumInPlace(SparseVector* acc, const SparseVector& x,
+                     SparseVector* scratch) {
+  MergeSum(*acc, x, scratch);
+  std::swap(*acc, *scratch);
+}
+
+SparseVector SumAll(std::span<const SparseVector> inputs) {
+  SparseVector acc;
+  SparseVector scratch;
+  for (const SparseVector& x : inputs) {
+    MergeSumInPlace(&acc, x, &scratch);
+  }
+  return acc;
+}
+
+SparseVector ConcatDisjoint(std::span<const SparseVector> parts) {
+  size_t total = 0;
+  for (const SparseVector& p : parts) total += p.size();
+  SparseVector out;
+  out.Reserve(total);
+  for (const SparseVector& p : parts) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      out.PushBack(p.index(i), p.value(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace spardl

@@ -1,0 +1,117 @@
+#ifndef SPARDL_SPARSE_SPARSE_VECTOR_H_
+#define SPARDL_SPARSE_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+/// Index into a flattened gradient vector.
+///
+/// 32-bit: the largest model in the paper (BERT, 133.5M parameters) fits
+/// comfortably, and a sparse entry packs to exactly 8 bytes = two 4-byte
+/// "gradient words", matching the paper's bandwidth accounting where a
+/// sparse gradient costs 2 words (index + value).
+using GradIndex = uint32_t;
+
+/// A sparse gradient in coordinate (COO) format.
+///
+/// Invariants: indices are strictly ascending (sorted, unique). All SparDL
+/// and baseline communication operates on these; keeping them sorted makes
+/// merge-summation a linear two-pointer pass and makes results independent
+/// of message arrival order (required for synchronous-SGD consistency).
+///
+/// Storage is struct-of-arrays for cache-friendly scans.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from parallel arrays. CHECK-fails if not strictly ascending.
+  SparseVector(std::vector<GradIndex> indices, std::vector<float> values);
+
+  /// Extracts all non-zeros of `dense`, offset by `base_index`.
+  static SparseVector FromDense(std::span<const float> dense,
+                                GradIndex base_index = 0);
+
+  size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  std::span<const GradIndex> indices() const { return indices_; }
+  std::span<const float> values() const { return values_; }
+
+  GradIndex index(size_t i) const { return indices_[i]; }
+  float value(size_t i) const { return values_[i]; }
+
+  void Clear() {
+    indices_.clear();
+    values_.clear();
+  }
+  void Reserve(size_t n) {
+    indices_.reserve(n);
+    values_.reserve(n);
+  }
+
+  /// Appends an entry; index must exceed the current last index.
+  void PushBack(GradIndex index, float value) {
+    SPARDL_DCHECK(indices_.empty() || index > indices_.back());
+    indices_.push_back(index);
+    values_.push_back(value);
+  }
+
+  /// Number of 4-byte words this vector occupies on the wire (2 per entry).
+  size_t WireWords() const { return 2 * size(); }
+
+  /// Sum of raw (signed) values. Used by mass-conservation tests.
+  double ValueSum() const;
+
+  /// Sum of |value|.
+  double AbsSum() const;
+
+  /// True if every index lies in [lo, hi).
+  bool IndicesWithin(GradIndex lo, GradIndex hi) const;
+
+  /// Adds `value` at `index` into `dense` for every entry
+  /// (dense[index] += value). Indices must be < dense.size().
+  void AddToDense(std::span<float> dense) const;
+
+  /// Writes values into `dense` (dense[index] = value), without clearing
+  /// other positions.
+  void ScatterToDense(std::span<float> dense) const;
+
+  /// Entries with index in [lo, hi), appended to `out` (which must currently
+  /// end below `lo` or be empty).
+  void ExtractRange(GradIndex lo, GradIndex hi, SparseVector* out) const;
+
+  bool operator==(const SparseVector& other) const {
+    return indices_ == other.indices_ && values_ == other.values_;
+  }
+
+ private:
+  std::vector<GradIndex> indices_;
+  std::vector<float> values_;
+};
+
+/// out = a + b (index-wise union; overlapping indices sum their values).
+/// Deterministic: the result depends only on the operand *values*, not on
+/// execution order. `out` may not alias `a` or `b`.
+void MergeSum(const SparseVector& a, const SparseVector& b, SparseVector* out);
+
+/// acc += x, via MergeSum into a scratch vector that is swapped back.
+/// Reuses `scratch`'s capacity across calls.
+void MergeSumInPlace(SparseVector* acc, const SparseVector& x,
+                     SparseVector* scratch);
+
+/// Sums a list of sparse vectors pairwise in a fixed left-to-right order.
+SparseVector SumAll(std::span<const SparseVector> inputs);
+
+/// Concatenates vectors whose index ranges are disjoint and ascending in
+/// the given order. CHECK-fails if ranges interleave.
+SparseVector ConcatDisjoint(std::span<const SparseVector> parts);
+
+}  // namespace spardl
+
+#endif  // SPARDL_SPARSE_SPARSE_VECTOR_H_

@@ -1,0 +1,151 @@
+#include "sparse/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spardl {
+
+namespace {
+
+// Larger |value| wins; ties go to the lower position (deterministic).
+bool CandidateGreater(float abs_a, uint32_t pos_a, float abs_b,
+                      uint32_t pos_b) {
+  if (abs_a != abs_b) return abs_a > abs_b;
+  return pos_a < pos_b;
+}
+
+}  // namespace
+
+void TopKSelector::RankCandidates(size_t k) {
+  auto cmp = [](const Candidate& a, const Candidate& b) {
+    return CandidateGreater(a.abs_value, a.position, b.abs_value, b.position);
+  };
+  SPARDL_DCHECK_LE(k, scratch_.size());
+  std::nth_element(scratch_.begin(), scratch_.begin() + (k - 1),
+                   scratch_.end(), cmp);
+  positions_kept_.clear();
+  positions_kept_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    positions_kept_.push_back(scratch_[i].position);
+  }
+  std::sort(positions_kept_.begin(), positions_kept_.end());
+}
+
+void TopKSelector::SelectSparse(const SparseVector& input, size_t k,
+                                SparseVector* kept, SparseVector* discarded) {
+  kept->Clear();
+  if (discarded != nullptr) discarded->Clear();
+  if (k >= input.size()) {
+    *kept = input;
+    return;
+  }
+  if (k == 0) {
+    if (discarded != nullptr) *discarded = input;
+    return;
+  }
+  scratch_.clear();
+  scratch_.reserve(input.size());
+  for (uint32_t i = 0; i < input.size(); ++i) {
+    scratch_.push_back({std::fabs(input.value(i)), i});
+  }
+  RankCandidates(k);
+  kept->Reserve(k);
+  if (discarded != nullptr) discarded->Reserve(input.size() - k);
+  size_t next_kept = 0;
+  for (uint32_t i = 0; i < input.size(); ++i) {
+    if (next_kept < positions_kept_.size() &&
+        positions_kept_[next_kept] == i) {
+      kept->PushBack(input.index(i), input.value(i));
+      ++next_kept;
+    } else if (discarded != nullptr) {
+      discarded->PushBack(input.index(i), input.value(i));
+    }
+  }
+}
+
+void TopKSelector::SelectDense(std::span<const float> dense,
+                               GradIndex base_index, size_t k,
+                               SparseVector* kept, SparseVector* discarded) {
+  kept->Clear();
+  if (discarded != nullptr) discarded->Clear();
+  scratch_.clear();
+  scratch_.reserve(dense.size());
+  for (uint32_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0f) {
+      scratch_.push_back({std::fabs(dense[i]), i});
+    }
+  }
+  const size_t nnz = scratch_.size();
+  if (k >= nnz) {
+    // Keep all non-zeros; nothing discarded.
+    for (const Candidate& c : scratch_) {
+      kept->PushBack(base_index + c.position, dense[c.position]);
+    }
+    return;
+  }
+  if (k == 0) {
+    if (discarded != nullptr) {
+      for (const Candidate& c : scratch_) {
+        discarded->PushBack(base_index + c.position, dense[c.position]);
+      }
+    }
+    return;
+  }
+  RankCandidates(k);
+  kept->Reserve(k);
+  if (discarded != nullptr) discarded->Reserve(nnz - k);
+  // scratch_ was permuted by nth_element; walk the dense block again so the
+  // discarded side comes out index-sorted without an extra sort.
+  size_t next_kept = 0;
+  for (uint32_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] == 0.0f) continue;
+    if (next_kept < positions_kept_.size() &&
+        positions_kept_[next_kept] == i) {
+      kept->PushBack(base_index + i, dense[i]);
+      ++next_kept;
+    } else if (discarded != nullptr) {
+      discarded->PushBack(base_index + i, dense[i]);
+    }
+  }
+}
+
+void TopKSparse(const SparseVector& input, size_t k, SparseVector* kept,
+                SparseVector* discarded) {
+  TopKSelector selector;
+  selector.SelectSparse(input, k, kept, discarded);
+}
+
+void TopKDense(std::span<const float> dense, GradIndex base_index, size_t k,
+               SparseVector* kept, SparseVector* discarded) {
+  TopKSelector selector;
+  selector.SelectDense(dense, base_index, k, kept, discarded);
+}
+
+size_t ThresholdSelect(const SparseVector& input, float threshold,
+                       SparseVector* kept, SparseVector* discarded) {
+  kept->Clear();
+  if (discarded != nullptr) discarded->Clear();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (std::fabs(input.value(i)) >= threshold) {
+      kept->PushBack(input.index(i), input.value(i));
+    } else if (discarded != nullptr) {
+      discarded->PushBack(input.index(i), input.value(i));
+    }
+  }
+  return kept->size();
+}
+
+float KthLargestAbs(std::span<const float> dense, size_t k) {
+  if (k == 0) return 0.0f;
+  std::vector<float> abs_values;
+  abs_values.reserve(dense.size());
+  for (float v : dense) {
+    if (v != 0.0f) abs_values.push_back(std::fabs(v));
+  }
+  if (k > abs_values.size()) return 0.0f;
+  std::nth_element(abs_values.begin(), abs_values.begin() + (k - 1),
+                   abs_values.end(), std::greater<float>());
+  return abs_values[k - 1];
+}
+
+}  // namespace spardl

@@ -1,0 +1,68 @@
+#ifndef SPARDL_SPARSE_TOPK_H_
+#define SPARDL_SPARSE_TOPK_H_
+
+#include <cstddef>
+#include <span>
+
+#include "sparse/sparse_vector.h"
+
+namespace spardl {
+
+/// Top-k selection by absolute value, the primitive behind every
+/// sparsification step in SparDL and the baselines.
+///
+/// Selection is deterministic: ties on |value| are broken toward the lower
+/// index, so every worker running the same selection on identical data keeps
+/// exactly the same entries (required for gradient consistency).
+///
+/// Uses quickselect (std::nth_element), matching the paper's
+/// "Quicksort-based" O(m) selection cost analysis. The class holds scratch
+/// buffers so repeated calls on the hot path do not allocate.
+class TopKSelector {
+ public:
+  TopKSelector() = default;
+
+  /// Keeps the k largest-|value| entries of `input` in `kept` (sorted by
+  /// index). If `discarded` is non-null, the remaining entries land there
+  /// (also sorted). If k >= input.size(), everything is kept.
+  void SelectSparse(const SparseVector& input, size_t k, SparseVector* kept,
+                    SparseVector* discarded);
+
+  /// Same selection over a dense block; produced indices are offset by
+  /// `base_index`. Zeros are never selected (they carry no information) but
+  /// are also never reported as discarded.
+  void SelectDense(std::span<const float> dense, GradIndex base_index,
+                   size_t k, SparseVector* kept, SparseVector* discarded);
+
+ private:
+  struct Candidate {
+    float abs_value;
+    uint32_t position;  // within the input
+  };
+
+  // Fills scratch_ from abs values, runs quickselect for k, leaves the
+  // winning positions in positions_kept_ (sorted ascending).
+  void RankCandidates(size_t k);
+
+  std::vector<Candidate> scratch_;
+  std::vector<uint32_t> positions_kept_;
+};
+
+/// One-shot convenience wrappers (allocate internally).
+void TopKSparse(const SparseVector& input, size_t k, SparseVector* kept,
+                SparseVector* discarded = nullptr);
+void TopKDense(std::span<const float> dense, GradIndex base_index, size_t k,
+               SparseVector* kept, SparseVector* discarded = nullptr);
+
+/// Selects every entry with |value| >= threshold (Ok-Topk style pruning).
+/// Returns the number kept; discards go to `discarded` when non-null.
+size_t ThresholdSelect(const SparseVector& input, float threshold,
+                       SparseVector* kept, SparseVector* discarded = nullptr);
+
+/// |value| of the k-th largest-|value| element of `dense` (1-based k).
+/// Returns 0 when k exceeds the number of non-zeros.
+float KthLargestAbs(std::span<const float> dense, size_t k);
+
+}  // namespace spardl
+
+#endif  // SPARDL_SPARSE_TOPK_H_

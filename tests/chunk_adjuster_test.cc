@@ -1,0 +1,102 @@
+#include "core/chunk_adjuster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spardl {
+namespace {
+
+// k = 1400, P = 14, d = 7: h_min = 100, h_max = L = 700.
+constexpr size_t kK = 1400;
+constexpr int kP = 14;
+constexpr int kD = 7;
+
+TEST(ChunkAdjusterTest, InitialHIsKOverP) {
+  ChunkAdjuster adjuster(kK, kP, kD);
+  EXPECT_EQ(adjuster.CurrentH(), 100u);
+  EXPECT_EQ(adjuster.TargetL(), 700u);
+  // Initial step: 0.01 * k (d-1) / P = 0.01 * 1400 * 6 / 14 = 6.
+  EXPECT_DOUBLE_EQ(adjuster.step(), 6.0);
+}
+
+TEST(ChunkAdjusterTest, UnionBelowTargetKeepsClimbing) {
+  ChunkAdjuster adjuster(kK, kP, kD);
+  adjuster.Observe(100);  // far below 700: keep going up
+  EXPECT_EQ(adjuster.CurrentH(), 106u);
+  EXPECT_DOUBLE_EQ(adjuster.step(), 6.0);  // first confirmation only flags
+  adjuster.Observe(150);  // second confirmation doubles
+  EXPECT_DOUBLE_EQ(adjuster.step(), 12.0);
+  EXPECT_EQ(adjuster.CurrentH(), 118u);
+}
+
+TEST(ChunkAdjusterTest, OvershootReversesAndHalves) {
+  ChunkAdjuster adjuster(kK, kP, kD);
+  adjuster.Observe(100);   // climb to 106
+  adjuster.Observe(9999);  // overshot: step = -3
+  EXPECT_DOUBLE_EQ(adjuster.step(), -3.0);
+  EXPECT_EQ(adjuster.CurrentH(), 103u);
+}
+
+TEST(ChunkAdjusterTest, ReversalResetsDoublingFlag) {
+  ChunkAdjuster adjuster(kK, kP, kD);
+  adjuster.Observe(100);   // flag set
+  adjuster.Observe(9999);  // reversal clears flag, step = -3
+  adjuster.Observe(9999);  // toward target again (union high, step neg): flag
+  EXPECT_DOUBLE_EQ(adjuster.step(), -3.0);
+  adjuster.Observe(9999);  // second confirmation doubles
+  EXPECT_DOUBLE_EQ(adjuster.step(), -6.0);
+}
+
+TEST(ChunkAdjusterTest, ClampsToAnalyticalRange) {
+  ChunkAdjuster adjuster(kK, kP, kD);
+  for (int i = 0; i < 200; ++i) adjuster.Observe(1);  // push up hard
+  EXPECT_LE(adjuster.CurrentH(), 700u);
+  for (int i = 0; i < 400; ++i) adjuster.Observe(100000);  // push down hard
+  EXPECT_GE(adjuster.CurrentH(), 100u);
+}
+
+TEST(ChunkAdjusterTest, MinimumHIsOne) {
+  ChunkAdjuster adjuster(/*k=*/2, /*num_workers=*/4, /*num_teams=*/2);
+  for (int i = 0; i < 50; ++i) adjuster.Observe(100000);
+  EXPECT_GE(adjuster.CurrentH(), 1u);
+}
+
+TEST(ChunkAdjusterTest, DiesOnDegenerateInputs) {
+  EXPECT_DEATH(ChunkAdjuster(0, 4, 2), "");
+  EXPECT_DEATH(ChunkAdjuster(10, 0, 2), "");
+  EXPECT_DEATH(ChunkAdjuster(10, 4, 1), "");
+}
+
+// Closed-loop property: with a synthetic union model
+// union(h) = min(d * h, cap), h converges so the union tracks L.
+class ChunkAdjusterConvergence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkAdjusterConvergence, TracksTargetUnderOverlapModel) {
+  const size_t cap = GetParam();  // max distinct indices available
+  ChunkAdjuster adjuster(kK, kP, kD);
+  size_t union_size = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t h = adjuster.CurrentH();
+    union_size = std::min<size_t>(static_cast<size_t>(kD) * h, cap);
+    adjuster.Observe(union_size);
+  }
+  const size_t target = adjuster.TargetL();
+  if (cap <= target) {
+    // Can never reach L: h should sit at (or near) the top clamp.
+    EXPECT_GE(adjuster.CurrentH(), 650u);
+  } else {
+    // Union should settle within ~15% of L.
+    const double err = std::abs(static_cast<double>(union_size) -
+                                static_cast<double>(target)) /
+                       static_cast<double>(target);
+    EXPECT_LT(err, 0.15) << "cap=" << cap << " union=" << union_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapCaps, ChunkAdjusterConvergence,
+                         ::testing::Values(300, 700, 1200, 5000, 100000));
+
+}  // namespace
+}  // namespace spardl

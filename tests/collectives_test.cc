@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "collectives/dense_collectives.h"
+#include "collectives/sparse_allgather.h"
+#include "sparse/block_partition.h"
+#include "test_util.h"
+
+namespace spardl {
+namespace {
+
+using ::spardl::testing::RunOnCluster;
+
+SparseVector RankVector(int rank) {
+  // Distinct, overlapping supports across ranks.
+  SparseVector v;
+  v.PushBack(static_cast<GradIndex>(rank), 1.0f + rank);
+  v.PushBack(static_cast<GradIndex>(100 + 2 * rank), -1.0f);
+  return v;
+}
+
+class AllGatherSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllGatherSweep, BruckGathersAllPartsInOrder) {
+  const int p = GetParam();
+  auto results = RunOnCluster<std::vector<SparseVector>>(
+      p, [](Comm& comm) {
+        return BruckAllGather(comm, CommGroup::World(comm),
+                              RankVector(comm.rank()));
+      });
+  for (int rank = 0; rank < p; ++rank) {
+    ASSERT_EQ(results[static_cast<size_t>(rank)].size(),
+              static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      EXPECT_EQ(results[static_cast<size_t>(rank)][static_cast<size_t>(j)],
+                RankVector(j))
+          << "P=" << p << " rank=" << rank << " part=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, AllGatherSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 14,
+                                           16));
+
+class RecursiveDoublingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecursiveDoublingSweep, MatchesBruckSemantics) {
+  const int p = GetParam();
+  auto results = RunOnCluster<std::vector<SparseVector>>(
+      p, [](Comm& comm) {
+        return RecursiveDoublingAllGather(comm, CommGroup::World(comm),
+                                          RankVector(comm.rank()));
+      });
+  for (int rank = 0; rank < p; ++rank) {
+    for (int j = 0; j < p; ++j) {
+      EXPECT_EQ(results[static_cast<size_t>(rank)][static_cast<size_t>(j)],
+                RankVector(j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwo, RecursiveDoublingSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(BruckAllGatherTest, LatencyIsCeilLog2Rounds) {
+  for (int p : {2, 3, 5, 8, 14}) {
+    Cluster cluster(p, CostModel::Ethernet());
+    cluster.Run([](Comm& comm) {
+      BruckAllGather(comm, CommGroup::World(comm), RankVector(comm.rank()));
+    });
+    const int expected_rounds = SrsBagLayout::NumSteps(p);
+    EXPECT_EQ(cluster.MaxMessagesReceived(),
+              static_cast<uint64_t>(expected_rounds))
+        << "P=" << p;
+  }
+}
+
+TEST(BruckAllGatherTest, BandwidthIsOtherPartsOnce) {
+  // Equal 2-entry parts: every worker must receive exactly (P-1) parts
+  // => (P-1) * 4 words, the all-gather bandwidth lower bound.
+  for (int p : {2, 3, 5, 8, 14}) {
+    Cluster cluster(p, CostModel::Ethernet());
+    cluster.Run([](Comm& comm) {
+      BruckAllGather(comm, CommGroup::World(comm), RankVector(comm.rank()));
+    });
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(cluster.comm(r).stats().words_received,
+                static_cast<uint64_t>(4 * (p - 1)))
+          << "P=" << p << " rank=" << r;
+    }
+  }
+}
+
+TEST(BruckAllGatherCountsTest, GathersScalars) {
+  const int p = 6;
+  auto results = RunOnCluster<std::vector<uint32_t>>(p, [](Comm& comm) {
+    return BruckAllGatherCounts(comm, CommGroup::World(comm),
+                                static_cast<uint32_t>(comm.rank() * 10));
+  });
+  for (int rank = 0; rank < p; ++rank) {
+    for (int j = 0; j < p; ++j) {
+      EXPECT_EQ(results[static_cast<size_t>(rank)][static_cast<size_t>(j)],
+                static_cast<uint32_t>(j * 10));
+    }
+  }
+}
+
+class DenseAllReduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(DenseAllReduceSweep, RingMatchesReference) {
+  const auto [p, n] = GetParam();
+  std::vector<std::vector<float>> grads;
+  for (int r = 0; r < p; ++r) {
+    grads.push_back(testing::RandomGradient(n, 77 + static_cast<uint64_t>(r)));
+  }
+  const std::vector<float> expected = testing::ReferenceSum(grads);
+  auto results = RunOnCluster<std::vector<float>>(p, [&](Comm& comm) {
+    std::vector<float> data = grads[static_cast<size_t>(comm.rank())];
+    RingAllReduce(comm, CommGroup::World(comm), data);
+    return data;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(results[static_cast<size_t>(r)][i], expected[i], 1e-4f)
+          << "P=" << p << " n=" << n << " rank=" << r << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DenseAllReduceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(size_t{1}, size_t{7}, size_t{64},
+                                         size_t{1000})));
+
+class RabenseifnerSweep
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(RabenseifnerSweep, MatchesReference) {
+  const auto [p, n] = GetParam();
+  std::vector<std::vector<float>> grads;
+  for (int r = 0; r < p; ++r) {
+    grads.push_back(testing::RandomGradient(n, 31 + static_cast<uint64_t>(r)));
+  }
+  const std::vector<float> expected = testing::ReferenceSum(grads);
+  auto results = RunOnCluster<std::vector<float>>(p, [&](Comm& comm) {
+    std::vector<float> data = grads[static_cast<size_t>(comm.rank())];
+    RabenseifnerAllReduce(comm, CommGroup::World(comm), data);
+    return data;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(results[static_cast<size_t>(r)][i], expected[i], 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RabenseifnerSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(size_t{8}, size_t{37}, size_t{129},
+                                         size_t{1000})));
+
+TEST(RabenseifnerTest, RejectsNonPowerOfTwo) {
+  Cluster cluster(3, CostModel::Free());
+  EXPECT_DEATH(
+      cluster.Run([](Comm& comm) {
+        std::vector<float> data(16, 1.0f);
+        RabenseifnerAllReduce(comm, CommGroup::World(comm), data);
+      }),
+      "power-of-two");
+}
+
+TEST(DenseCollectivesTest, RoundCounts) {
+  // Ring: 2(P-1) receives; Rabenseifner: 2 log2 P receives.
+  {
+    Cluster cluster(5, CostModel::Ethernet());
+    cluster.Run([](Comm& comm) {
+      std::vector<float> data(100, 1.0f);
+      RingAllReduce(comm, CommGroup::World(comm), data);
+    });
+    EXPECT_EQ(cluster.MaxMessagesReceived(), 8u);
+  }
+  {
+    Cluster cluster(8, CostModel::Ethernet());
+    cluster.Run([](Comm& comm) {
+      std::vector<float> data(128, 1.0f);
+      RabenseifnerAllReduce(comm, CommGroup::World(comm), data);
+    });
+    EXPECT_EQ(cluster.MaxMessagesReceived(), 6u);
+  }
+}
+
+TEST(DenseCollectivesTest, AutoPicksByGroupSize) {
+  // Just exercises both dispatch paths for correctness.
+  for (int p : {4, 6}) {
+    std::vector<std::vector<float>> grads;
+    for (int r = 0; r < p; ++r) {
+      grads.push_back(
+          testing::RandomGradient(50, 900 + static_cast<uint64_t>(r)));
+    }
+    const std::vector<float> expected = testing::ReferenceSum(grads);
+    auto results = RunOnCluster<std::vector<float>>(p, [&](Comm& comm) {
+      std::vector<float> data = grads[static_cast<size_t>(comm.rank())];
+      DenseAllReduceAuto(comm, CommGroup::World(comm), data);
+      return data;
+    });
+    for (size_t i = 0; i < 50; ++i) {
+      EXPECT_NEAR(results[0][i], expected[i], 1e-4f);
+    }
+  }
+}
+
+TEST(CommGroupTest, ContiguousTeamsAndPositions) {
+  Cluster cluster(6, CostModel::Free());
+  cluster.Run([](Comm& comm) {
+    const int team = comm.rank() / 3;
+    CommGroup group = CommGroup::ContiguousTeam(comm, 2, team);
+    EXPECT_EQ(group.size(), 3);
+    EXPECT_EQ(group.my_pos, comm.rank() % 3);
+    EXPECT_EQ(group.GlobalRank(group.my_pos), comm.rank());
+
+    CommGroup cross = CommGroup::SamePositionAcrossTeams(comm, 2);
+    EXPECT_EQ(cross.size(), 2);
+    EXPECT_EQ(cross.my_pos, team);
+    EXPECT_EQ(cross.GlobalRank(cross.my_pos), comm.rank());
+  });
+}
+
+}  // namespace
+}  // namespace spardl

@@ -1,0 +1,160 @@
+// Table-I invariants checked programmatically: each method's measured
+// per-worker latency (message rounds) and bandwidth (received words) on the
+// simulated cluster must satisfy the paper's closed forms / bounds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "dl/grad_profile.h"
+#include "simnet/cluster.h"
+
+namespace spardl {
+namespace {
+
+int CeilLog2(int x) {
+  int l = 0;
+  while ((1 << l) < x) ++l;
+  return l;
+}
+
+struct Measured {
+  uint64_t max_messages = 0;
+  uint64_t max_words = 0;
+};
+
+Measured Measure(const std::string& algo, int p, size_t n, size_t k,
+                 int num_teams = 1, int iterations = 2) {
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = k;
+  config.num_workers = p;
+  config.num_teams = num_teams;
+  config.residual_mode = ResidualMode::kNone;
+
+  Cluster cluster(p, CostModel::Ethernet());
+  std::vector<std::unique_ptr<SparseAllReduce>> algos(
+      static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    algos[static_cast<size_t>(r)] = std::move(*CreateAlgorithm(algo, config));
+  }
+  const ProfileGradientGenerator generator(n, 4242);
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (iter == iterations - 1) cluster.ResetClocksAndStats();
+    cluster.Run([&](Comm& comm) {
+      const SparseVector candidates =
+          generator.Generate(comm.rank(), iter, 2 * k);
+      algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm, candidates);
+    });
+  }
+  return {cluster.MaxMessagesReceived(), cluster.MaxWordsReceived()};
+}
+
+constexpr size_t kN = 500'000;
+constexpr size_t kK = 5'000;
+
+class CostSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostSweep, SparDLMatchesTableOneExactly) {
+  const int p = GetParam();
+  const Measured m = Measure("spardl", p, kN, kK);
+  EXPECT_EQ(m.max_messages, static_cast<uint64_t>(2 * CeilLog2(p)));
+  // 4 (P-1)/P k words, ceil-rounded per block: allow the rounding slack.
+  const uint64_t bound =
+      4 * ((kK + p - 1) / p) * static_cast<uint64_t>(p - 1);
+  EXPECT_LE(m.max_words, bound);
+  EXPECT_GE(m.max_words, bound * 8 / 10);
+}
+
+TEST_P(CostSweep, TopkAMatchesTableOneExactly) {
+  const int p = GetParam();
+  const Measured m = Measure("topka", p, kN, kK);
+  EXPECT_EQ(m.max_messages, static_cast<uint64_t>(CeilLog2(p)));
+  EXPECT_EQ(m.max_words, static_cast<uint64_t>(2 * kK * (p - 1)));
+}
+
+TEST_P(CostSweep, TopkDsaWithinTableOneRange) {
+  const int p = GetParam();
+  if (p == 1) return;
+  const Measured m = Measure("topkdsa", p, kN, kK);
+  // P-1 direct receives + ceil(log2 P) all-gather receives.
+  EXPECT_EQ(m.max_messages,
+            static_cast<uint64_t>(p - 1 + CeilLog2(p)));
+  // Upper bound: (P-1)/P (2k + n) words (dense switch).
+  const double upper =
+      static_cast<double>(p - 1) / p * (2.0 * kK + kN) + 2.0 * kK;
+  EXPECT_LE(static_cast<double>(m.max_words), upper);
+}
+
+TEST_P(CostSweep, OkTopkWithinTableOneRange) {
+  const int p = GetParam();
+  if (p == 1) return;
+  const Measured m = Measure("oktopk", p, kN, kK);
+  // Direct sends + counts all-gather + data all-gather.
+  EXPECT_LE(m.max_messages,
+            static_cast<uint64_t>(2 * (p + CeilLog2(p))));
+  EXPECT_GE(m.max_messages, static_cast<uint64_t>(p - 1));
+  // Bandwidth upper bound 6 (P-1)/P k beta; threshold pruning may onesided
+  // overshoot, so allow 25% slack plus the counts words.
+  const double upper = 6.0 * (p - 1) / p * kK * 1.25 + 2.0 * p;
+  EXPECT_LE(static_cast<double>(m.max_words), upper);
+}
+
+TEST_P(CostSweep, RSagLatencyFormula) {
+  const int p = GetParam();
+  for (int d : {2, 4}) {
+    if (p % d != 0) continue;
+    const Measured m = Measure("spardl-rsag", p, kN, kK, d);
+    EXPECT_EQ(m.max_messages,
+              static_cast<uint64_t>(2 * CeilLog2(p / d) + CeilLog2(d)))
+        << "P=" << p << " d=" << d;
+  }
+}
+
+TEST_P(CostSweep, BSagLatencyAndBandwidthBounds) {
+  const int p = GetParam();
+  for (int d : {2, 7}) {
+    if (p % d != 0 || d >= p) continue;
+    const Measured m = Measure("spardl-bsag", p, kN, kK, d);
+    EXPECT_EQ(m.max_messages,
+              static_cast<uint64_t>(2 * CeilLog2(p / d) + CeilLog2(d)))
+        << "P=" << p << " d=" << d;
+    // Upper bound 2 (d^2 + 2P - 3d)/P k, with per-block ceil slack.
+    const double upper =
+        2.0 * (static_cast<double>(d) * d + 2.0 * p - 3.0 * d) / p *
+            static_cast<double>(kK) +
+        4.0 * p;
+    EXPECT_LE(static_cast<double>(m.max_words), upper)
+        << "P=" << p << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CostSweep,
+                         ::testing::Values(4, 8, 14, 16));
+
+TEST(CostInvariantsTest, GTopkWithinBound) {
+  for (int p : {4, 8, 16}) {
+    const Measured m = Measure("gtopk", p, kN, kK);
+    // No worker receives more than 2 log2 P messages or 4 log2 P k words.
+    EXPECT_LE(m.max_messages, static_cast<uint64_t>(2 * CeilLog2(p)));
+    EXPECT_LE(m.max_words, static_cast<uint64_t>(4 * CeilLog2(p) * kK));
+  }
+}
+
+TEST(CostInvariantsTest, SparDLCheaperThanTopkAForLargeP) {
+  // The headline: SparDL's bandwidth is ~constant in P, TopkA's grows
+  // linearly, so the gap widens with the cluster (paper Fig. 12 logic).
+  const Measured spardl_small = Measure("spardl", 4, kN, kK);
+  const Measured spardl_large = Measure("spardl", 16, kN, kK);
+  const Measured topka_large = Measure("topka", 16, kN, kK);
+  EXPECT_LT(static_cast<double>(spardl_large.max_words),
+            1.5 * static_cast<double>(spardl_small.max_words));
+  EXPECT_GT(topka_large.max_words, 5 * spardl_large.max_words);
+}
+
+}  // namespace
+}  // namespace spardl

@@ -1,0 +1,56 @@
+// Bit-reproducibility: two runs of the same configuration on fresh
+// clusters must produce byte-identical global gradients for every method.
+// This is what makes the repo's experiments and regressions trustworthy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "test_util.h"
+
+namespace spardl {
+namespace {
+
+std::vector<SparseVector> OneRun(const std::string& name, int p, size_t n,
+                                 size_t k, int iterations) {
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = k;
+  config.num_workers = p;
+  if (name == "spardl") config.num_teams = 2;
+  std::vector<std::vector<SparseVector>> outputs;
+  testing::RunAlgorithm(
+      p, n, iterations,
+      [&](int) { return std::move(*CreateAlgorithm(name, config)); },
+      nullptr, &outputs, /*seed_base=*/777);
+  std::vector<SparseVector> flattened;
+  for (const auto& iter_outputs : outputs) {
+    flattened.push_back(iter_outputs[0]);
+  }
+  return flattened;
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismSweep, IdenticalAcrossRuns) {
+  const std::string name = GetParam();
+  const int p = 4;
+  const size_t n = 400;
+  const size_t k = 40;
+  const auto first = OneRun(name, p, n, k, 3);
+  const auto second = OneRun(name, p, n, k, 3);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << name << " iter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DeterminismSweep,
+                         ::testing::Values("spardl", "topka", "topkdsa",
+                                           "gtopk", "oktopk", "dense"));
+
+}  // namespace
+}  // namespace spardl

@@ -1,0 +1,75 @@
+#include "dl/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spardl {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits(2, 4);  // all zeros -> uniform distribution
+  const LossResult result = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectIsNearZero) {
+  Matrix logits(1, 3);
+  logits.At(0, 1) = 50.0f;
+  const LossResult result = SoftmaxCrossEntropy(logits, {1});
+  EXPECT_LT(result.loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  Matrix logits(3, 5);
+  for (size_t i = 0; i < logits.data().size(); ++i) {
+    logits.data()[i] = static_cast<float>(i % 7) * 0.3f;
+  }
+  const LossResult result = SoftmaxCrossEntropy(logits, {0, 2, 4});
+  for (size_t r = 0; r < 3; ++r) {
+    float row_sum = 0.0f;
+    for (size_t c = 0; c < 5; ++c) row_sum += result.grad.At(r, c);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, StableUnderLargeLogits) {
+  Matrix logits(1, 2);
+  logits.At(0, 0) = 10000.0f;
+  logits.At(0, 1) = 9999.0f;
+  const LossResult result = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_NEAR(result.loss, std::log(1.0 + std::exp(-1.0)), 1e-4);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Matrix logits(3, 2);
+  logits.At(0, 0) = 1.0f;  // argmax 0, label 0: hit
+  logits.At(1, 1) = 1.0f;  // argmax 1, label 0: miss
+  logits.At(2, 1) = 1.0f;  // argmax 1, label 1: hit
+  EXPECT_NEAR(Accuracy(logits, {0, 0, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MeanSquaredErrorTest, ZeroWhenEqual) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0f;
+  const LossResult result = MeanSquaredError(a, a);
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+  for (float g : result.grad.data()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(MeanSquaredErrorTest, MatchesHandComputation) {
+  Matrix pred(1, 2);
+  Matrix target(1, 2);
+  pred.At(0, 0) = 3.0f;  // diff 1
+  target.At(0, 0) = 2.0f;
+  pred.At(0, 1) = 0.0f;  // diff -2
+  target.At(0, 1) = 2.0f;
+  const LossResult result = MeanSquaredError(pred, target);
+  EXPECT_DOUBLE_EQ(result.loss, (1.0 + 4.0) / 2.0);
+  EXPECT_FLOAT_EQ(result.grad.At(0, 0), 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(result.grad.At(0, 1), 2.0f * -2.0f / 2.0f);
+}
+
+}  // namespace
+}  // namespace spardl

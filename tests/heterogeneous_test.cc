@@ -1,0 +1,106 @@
+// Heterogeneous-cluster support (paper §VI extension): per-worker receive
+// slowdown factors on the simulated network.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "simnet/cluster.h"
+#include "test_util.h"
+
+namespace spardl {
+namespace {
+
+TEST(HeterogeneousTest, SlowdownScalesRecvCost) {
+  const CostModel cm{1.0, 0.0};
+  Cluster cluster(2, cm);
+  cluster.network().SetWorkerSlowdown(1, 3.0);
+  cluster.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, Payload(int64_t{1}));
+    } else {
+      comm.RecvAs<int64_t>(0);
+      EXPECT_DOUBLE_EQ(comm.sim_now(), 3.0);  // 3x the 1s alpha
+    }
+  });
+}
+
+TEST(HeterogeneousTest, DefaultIsHomogeneous) {
+  Cluster cluster(3, CostModel::Ethernet());
+  EXPECT_DOUBLE_EQ(cluster.network().WorkerSlowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.network().WorkerSlowdown(2), 1.0);
+}
+
+TEST(HeterogeneousTest, RejectsBadArguments) {
+  Network network(2, CostModel::Free());
+  EXPECT_DEATH(network.SetWorkerSlowdown(5, 2.0), "");
+  EXPECT_DEATH(network.SetWorkerSlowdown(0, 0.0), "");
+}
+
+// A straggler must not break correctness: the synchronous algorithms
+// still produce identical replicas, just later.
+TEST(HeterogeneousTest, StragglerPreservesConsistency) {
+  const int p = 6;
+  const size_t n = 600;
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = 60;
+  config.num_workers = p;
+
+  Cluster cluster(p, CostModel::Ethernet());
+  cluster.network().SetWorkerSlowdown(3, 8.0);
+  std::vector<std::unique_ptr<SparseAllReduce>> algos(
+      static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    algos[static_cast<size_t>(r)] =
+        std::move(*CreateAlgorithm("spardl", config));
+  }
+  std::vector<SparseVector> outs(static_cast<size_t>(p));
+  cluster.Run([&](Comm& comm) {
+    std::vector<float> grad = testing::RandomGradient(
+        n, 3 + static_cast<uint64_t>(comm.rank()));
+    outs[static_cast<size_t>(comm.rank())] =
+        algos[static_cast<size_t>(comm.rank())]->Run(comm, grad);
+  });
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(outs[static_cast<size_t>(r)], outs[0]);
+  }
+}
+
+// The straggler's delay propagates into the cluster makespan: with one
+// 8x-slow worker, the slowest clock is strictly above the homogeneous run.
+TEST(HeterogeneousTest, StragglerRaisesMakespan) {
+  const int p = 6;
+  const size_t n = 2000;
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = 200;
+  config.num_workers = p;
+  config.residual_mode = ResidualMode::kNone;
+
+  double makespan[2];
+  int slot = 0;
+  for (bool straggler : {false, true}) {
+    Cluster cluster(p, CostModel::Ethernet());
+    if (straggler) cluster.network().SetWorkerSlowdown(2, 8.0);
+    std::vector<std::unique_ptr<SparseAllReduce>> algos(
+        static_cast<size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      algos[static_cast<size_t>(r)] =
+          std::move(*CreateAlgorithm("spardl", config));
+    }
+    cluster.Run([&](Comm& comm) {
+      std::vector<float> grad = testing::RandomGradient(
+          n, 3 + static_cast<uint64_t>(comm.rank()));
+      algos[static_cast<size_t>(comm.rank())]->Run(comm, grad);
+      comm.BarrierSyncClocks();
+    });
+    makespan[slot++] = cluster.MaxSimSeconds();
+  }
+  EXPECT_GT(makespan[1], 2.0 * makespan[0]);
+}
+
+}  // namespace
+}  // namespace spardl

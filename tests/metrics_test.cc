@@ -1,0 +1,55 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace spardl {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long header"});
+  table.AddRow({"wide cell", "x"});
+  const std::string out = table.ToString();
+  // Three lines: header, separator, row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  // Every line has the same width.
+  std::stringstream ss(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(ss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(out.find("| wide cell |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "");
+}
+
+TEST(WriteCsvTest, WritesColumnsWithPadding) {
+  const std::string path = ::testing::TempDir() + "/spardl_test.csv";
+  ASSERT_TRUE(WriteCsv(path, {"x", "y"}, {{1.0, 2.0, 3.0}, {10.0}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,10");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, FailsOnBadPath) {
+  EXPECT_FALSE(WriteCsv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}));
+}
+
+}  // namespace
+}  // namespace spardl

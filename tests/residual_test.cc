@@ -1,0 +1,114 @@
+#include "core/residual.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spardl {
+namespace {
+
+SparseVector Make(std::vector<GradIndex> idx, std::vector<float> val) {
+  return SparseVector(std::move(idx), std::move(val));
+}
+
+TEST(ResidualStoreTest, ModeNames) {
+  EXPECT_STREQ(ResidualModeName(ResidualMode::kGlobal), "GRES");
+  EXPECT_STREQ(ResidualModeName(ResidualMode::kPartial), "PRES");
+  EXPECT_STREQ(ResidualModeName(ResidualMode::kLocal), "LRES");
+  EXPECT_STREQ(ResidualModeName(ResidualMode::kNone), "none");
+}
+
+TEST(ResidualStoreTest, ApplyAndResetMovesMassIntoGradient) {
+  ResidualStore store(4, ResidualMode::kGlobal);
+  store.AddLocalDiscard(Make({1, 3}, {0.5f, -1.0f}));
+  std::vector<float> grad = {1.0f, 1.0f, 1.0f, 1.0f};
+  store.ApplyAndReset(grad);
+  EXPECT_FLOAT_EQ(grad[1], 1.5f);
+  EXPECT_FLOAT_EQ(grad[3], 0.0f);
+  EXPECT_DOUBLE_EQ(store.MassSum(), 0.0);
+  // Second apply is a no-op: the store was cleared.
+  store.ApplyAndReset(grad);
+  EXPECT_FLOAT_EQ(grad[1], 1.5f);
+}
+
+TEST(ResidualStoreTest, GlobalCollectsCommDiscardsImmediately) {
+  ResidualStore store(4, ResidualMode::kGlobal);
+  store.AddCommDiscard(Make({0}, {2.0f}), 1.0f);
+  store.AddCommDiscard(Make({0}, {2.0f}), 0.5f);  // scaled crediting
+  EXPECT_DOUBLE_EQ(store.MassSum(), 3.0);
+  // Comm discards survive even if their index is in the final gradient
+  // (in-procedure residuals — the GRES novelty).
+  store.FinishIteration(Make({0}, {9.0f}));
+  EXPECT_DOUBLE_EQ(store.MassSum(), 3.0);
+}
+
+TEST(ResidualStoreTest, PartialKeepsOnlyEndProcedureResiduals) {
+  ResidualStore store(8, ResidualMode::kPartial);
+  store.AddCommDiscard(Make({2, 5}, {1.0f, 4.0f}), 1.0f);
+  // Buffered, not yet applied.
+  EXPECT_DOUBLE_EQ(store.MassSum(), 5.0);
+  // Index 2 survives into the final gradient -> in-procedure -> dropped.
+  // Index 5 is absent -> end-procedure -> kept.
+  store.FinishIteration(Make({2}, {3.0f}));
+  EXPECT_DOUBLE_EQ(store.MassSum(), 4.0);
+  std::vector<float> grad(8, 0.0f);
+  store.ApplyAndReset(grad);
+  EXPECT_FLOAT_EQ(grad[5], 4.0f);
+  EXPECT_FLOAT_EQ(grad[2], 0.0f);
+}
+
+TEST(ResidualStoreTest, PartialAppliesScaleAtFilterTime) {
+  ResidualStore store(8, ResidualMode::kPartial);
+  store.AddCommDiscard(Make({5}, {4.0f}), 0.25f);
+  store.FinishIteration(SparseVector());
+  EXPECT_DOUBLE_EQ(store.MassSum(), 1.0);
+}
+
+TEST(ResidualStoreTest, LocalDropsCommDiscards) {
+  ResidualStore store(4, ResidualMode::kLocal);
+  store.AddLocalDiscard(Make({1}, {1.0f}));
+  store.AddCommDiscard(Make({2}, {7.0f}), 1.0f);
+  store.FinishIteration(SparseVector());
+  EXPECT_DOUBLE_EQ(store.MassSum(), 1.0);
+}
+
+TEST(ResidualStoreTest, NoneModeIsInertWithZeroLengthBuffer) {
+  ResidualStore store(0, ResidualMode::kNone);
+  store.AddLocalDiscard(Make({1}, {1.0f}));
+  store.AddCommDiscard(Make({2}, {1.0f}), 1.0f);
+  store.FinishIteration(SparseVector());
+  EXPECT_DOUBLE_EQ(store.MassSum(), 0.0);
+  EXPECT_TRUE(store.dense().empty());
+  std::vector<float> grad = {1.0f};
+  store.ApplyAndReset(grad);  // must not touch grad nor crash
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);
+}
+
+TEST(ResidualStoreTest, AccumulatesOverlappingDiscards) {
+  ResidualStore store(4, ResidualMode::kGlobal);
+  store.AddLocalDiscard(Make({1}, {1.0f}));
+  store.AddLocalDiscard(Make({1}, {2.0f}));
+  std::vector<float> grad(4, 0.0f);
+  store.ApplyAndReset(grad);
+  EXPECT_FLOAT_EQ(grad[1], 3.0f);
+}
+
+TEST(ResidualStoreTest, PendingClearedByApplyAndReset) {
+  // An aborted iteration (apply without finish) must not leak stale
+  // pending discards into the next one.
+  ResidualStore store(4, ResidualMode::kPartial);
+  store.AddCommDiscard(Make({2}, {5.0f}), 1.0f);
+  std::vector<float> grad(4, 0.0f);
+  store.ApplyAndReset(grad);
+  store.FinishIteration(SparseVector());
+  EXPECT_DOUBLE_EQ(store.MassSum(), 0.0);
+}
+
+TEST(ResidualStoreTest, DiesOnSizeMismatch) {
+  ResidualStore store(4, ResidualMode::kGlobal);
+  std::vector<float> grad(3, 0.0f);
+  EXPECT_DEATH(store.ApplyAndReset(grad), "");
+}
+
+}  // namespace
+}  // namespace spardl

@@ -1,0 +1,172 @@
+#include "core/spar_all_gather.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/block_partition.h"
+#include "test_util.h"
+
+namespace spardl {
+namespace {
+
+using ::spardl::testing::RunOnCluster;
+
+// A per-rank block over a shared index range [0, 200) with partial overlap
+// across ranks — the situation R-SAG/B-SAG face after team-level SRS.
+SparseVector RankBlock(int rank, int entries) {
+  Rng rng(1000 + static_cast<uint64_t>(rank));
+  std::vector<float> dense(200, 0.0f);
+  for (int i = 0; i < entries; ++i) {
+    const size_t idx = rng.NextBounded(200);
+    dense[idx] += static_cast<float>(rng.NextGaussian());
+  }
+  return SparseVector::FromDense(dense);
+}
+
+class RSagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RSagSweep, AllReplicasIdenticalAndWithinBudget) {
+  const int d = GetParam();
+  const size_t target_l = 20;
+  auto results = RunOnCluster<SparseVector>(d, [&](Comm& comm) {
+    return RSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 30),
+                target_l, nullptr);
+  });
+  for (int r = 1; r < d; ++r) {
+    EXPECT_EQ(results[static_cast<size_t>(r)], results[0]) << "rank " << r;
+  }
+  if (d > 1) {
+    EXPECT_LE(results[0].size(), target_l);
+  }
+}
+
+TEST_P(RSagSweep, ExactSumWhenTargetLarge) {
+  const int d = GetParam();
+  std::vector<SparseVector> blocks;
+  for (int r = 0; r < d; ++r) blocks.push_back(RankBlock(r, 30));
+  const SparseVector expected = SumAll(blocks);
+  auto results = RunOnCluster<SparseVector>(d, [&](Comm& comm) {
+    return RSag(comm, CommGroup::World(comm),
+                RankBlock(comm.rank(), 30), /*target_l=*/10000, nullptr);
+  });
+  for (int r = 0; r < d; ++r) {
+    const SparseVector& got = results[static_cast<size_t>(r)];
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.index(i), expected.index(i));
+      EXPECT_NEAR(got.value(i), expected.value(i), 1e-4f);
+    }
+  }
+}
+
+// Scaled residual crediting must make the cluster-wide books balance:
+// sum(inputs) == result + sum over workers of collected residuals.
+TEST_P(RSagSweep, ScaledResidualsConserveMass) {
+  const int d = GetParam();
+  const size_t target_l = 15;
+  double input_mass = 0.0;
+  for (int r = 0; r < d; ++r) input_mass += RankBlock(r, 40).ValueSum();
+
+  std::vector<double> residual_mass(static_cast<size_t>(d));
+  auto results = RunOnCluster<SparseVector>(d, [&](Comm& comm) {
+    ResidualStore residuals(200, ResidualMode::kGlobal);
+    SparseVector out = RSag(comm, CommGroup::World(comm),
+                            RankBlock(comm.rank(), 40), target_l, &residuals);
+    residual_mass[static_cast<size_t>(comm.rank())] = residuals.MassSum();
+    return out;
+  });
+  double total = results[0].ValueSum();
+  for (double m : residual_mass) total += m;
+  EXPECT_NEAR(total, input_mass, 1e-3) << "d=" << d;
+}
+
+TEST_P(RSagSweep, LatencyIsLog2dRounds) {
+  const int d = GetParam();
+  Cluster cluster(d, CostModel::Ethernet());
+  cluster.Run([&](Comm& comm) {
+    RSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 30), 20,
+         nullptr);
+  });
+  int log2d = 0;
+  while ((1 << log2d) < d) ++log2d;
+  EXPECT_EQ(cluster.MaxMessagesReceived(), static_cast<uint64_t>(log2d));
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamCounts, RSagSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(RSagTest, RejectsNonPowerOfTwo) {
+  Cluster cluster(3, CostModel::Free());
+  EXPECT_DEATH(cluster.Run([](Comm& comm) {
+    RSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 10), 5,
+         nullptr);
+  }),
+               "power-of-two");
+}
+
+class BSagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BSagSweep, AllReplicasIdenticalAndWithinBudget) {
+  const int d = GetParam();
+  const size_t k = 60;
+  const int p = d;  // one-worker teams: cross-team group is the world
+  const size_t target_l = std::max<size_t>(1, k * d / p);
+  auto results = RunOnCluster<SparseVector>(d, [&](Comm& comm) {
+    ChunkAdjuster adjuster(k, p, d);
+    return BSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 50),
+                target_l, &adjuster, nullptr);
+  });
+  for (int r = 1; r < d; ++r) {
+    EXPECT_EQ(results[static_cast<size_t>(r)], results[0]) << "rank " << r;
+  }
+  EXPECT_LE(results[0].size(), target_l);
+}
+
+TEST_P(BSagSweep, ResidualsConserveMass) {
+  const int d = GetParam();
+  const size_t k = 60;
+  const size_t target_l = 30;
+  double input_mass = 0.0;
+  for (int r = 0; r < d; ++r) input_mass += RankBlock(r, 50).ValueSum();
+
+  std::vector<double> residual_mass(static_cast<size_t>(d));
+  auto results = RunOnCluster<SparseVector>(d, [&](Comm& comm) {
+    ChunkAdjuster adjuster(k, d, d);
+    ResidualStore residuals(200, ResidualMode::kGlobal);
+    SparseVector out =
+        BSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 50),
+             target_l, &adjuster, &residuals);
+    residual_mass[static_cast<size_t>(comm.rank())] = residuals.MassSum();
+    return out;
+  });
+  double total = results[0].ValueSum();
+  for (double m : residual_mass) total += m;
+  EXPECT_NEAR(total, input_mass, 1e-3) << "d=" << d;
+}
+
+TEST_P(BSagSweep, ReportsObservedUnionAndLatency) {
+  const int d = GetParam();
+  Cluster cluster(d, CostModel::Ethernet());
+  std::vector<size_t> unions(static_cast<size_t>(d));
+  cluster.Run([&](Comm& comm) {
+    ChunkAdjuster adjuster(60, d, d);
+    size_t observed = 0;
+    BSag(comm, CommGroup::World(comm), RankBlock(comm.rank(), 50), 30,
+         &adjuster, nullptr, &observed);
+    unions[static_cast<size_t>(comm.rank())] = observed;
+  });
+  for (int r = 0; r < d; ++r) {
+    EXPECT_GT(unions[static_cast<size_t>(r)], 0u);
+    EXPECT_EQ(unions[static_cast<size_t>(r)], unions[0]);
+  }
+  EXPECT_EQ(cluster.MaxMessagesReceived(),
+            static_cast<uint64_t>(SrsBagLayout::NumSteps(d)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamCounts, BSagSweep,
+                         ::testing::Values(2, 3, 5, 6, 7, 12));
+
+}  // namespace
+}  // namespace spardl

@@ -1,0 +1,164 @@
+#include "sparse/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace spardl {
+namespace {
+
+SparseVector Make(std::vector<GradIndex> idx, std::vector<float> val) {
+  return SparseVector(std::move(idx), std::move(val));
+}
+
+TEST(TopKSparseTest, SelectsLargestAbsoluteValues) {
+  SparseVector in = Make({0, 1, 2, 3}, {0.1f, -5.0f, 3.0f, -0.2f});
+  SparseVector kept;
+  SparseVector discarded;
+  TopKSparse(in, 2, &kept, &discarded);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.index(0), 1u);  // -5.0
+  EXPECT_EQ(kept.index(1), 2u);  // 3.0
+  ASSERT_EQ(discarded.size(), 2u);
+  EXPECT_EQ(discarded.index(0), 0u);
+  EXPECT_EQ(discarded.index(1), 3u);
+}
+
+TEST(TopKSparseTest, TiesBreakTowardLowerIndex) {
+  SparseVector in = Make({10, 20, 30}, {1.0f, -1.0f, 1.0f});
+  SparseVector kept;
+  TopKSparse(in, 2, &kept);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.index(0), 10u);
+  EXPECT_EQ(kept.index(1), 20u);
+}
+
+TEST(TopKSparseTest, KBeyondSizeKeepsEverything) {
+  SparseVector in = Make({1, 2}, {1.0f, 2.0f});
+  SparseVector kept;
+  SparseVector discarded;
+  TopKSparse(in, 10, &kept, &discarded);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(discarded.empty());
+}
+
+TEST(TopKSparseTest, KZeroDiscardsEverything) {
+  SparseVector in = Make({1, 2}, {1.0f, 2.0f});
+  SparseVector kept;
+  SparseVector discarded;
+  TopKSparse(in, 0, &kept, &discarded);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(discarded.size(), 2u);
+}
+
+TEST(TopKDenseTest, AppliesBaseIndexAndIgnoresZeros) {
+  const std::vector<float> dense = {0.0f, 4.0f, 0.0f, -1.0f, 2.0f};
+  SparseVector kept;
+  SparseVector discarded;
+  TopKDense(dense, 50, 2, &kept, &discarded);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.index(0), 51u);
+  EXPECT_EQ(kept.index(1), 54u);
+  // The zero entries are neither kept nor discarded.
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_EQ(discarded.index(0), 53u);
+}
+
+TEST(TopKDenseTest, AllZerosYieldsNothing) {
+  const std::vector<float> dense(8, 0.0f);
+  SparseVector kept;
+  SparseVector discarded;
+  TopKDense(dense, 0, 3, &kept, &discarded);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_TRUE(discarded.empty());
+}
+
+TEST(TopKDenseTest, KeepAllNonZerosWhenKLarge) {
+  const std::vector<float> dense = {1.0f, 0.0f, -2.0f};
+  SparseVector kept;
+  TopKDense(dense, 0, 5, &kept);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(ThresholdSelectTest, InclusiveBoundary) {
+  SparseVector in = Make({0, 1, 2}, {0.5f, -1.0f, 1.5f});
+  SparseVector kept;
+  SparseVector discarded;
+  const size_t n = ThresholdSelect(in, 1.0f, &kept, &discarded);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(kept.index(0), 1u);  // |-1.0| >= 1.0 inclusive
+  EXPECT_EQ(discarded.size(), 1u);
+}
+
+TEST(KthLargestAbsTest, MatchesSortedOrder) {
+  const std::vector<float> dense = {0.5f, -3.0f, 1.0f, 0.0f, 2.0f};
+  EXPECT_FLOAT_EQ(KthLargestAbs(dense, 1), 3.0f);
+  EXPECT_FLOAT_EQ(KthLargestAbs(dense, 2), 2.0f);
+  EXPECT_FLOAT_EQ(KthLargestAbs(dense, 4), 0.5f);
+}
+
+TEST(KthLargestAbsTest, KBeyondNonZerosReturnsZero) {
+  const std::vector<float> dense = {1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(KthLargestAbs(dense, 2), 0.0f);
+  EXPECT_FLOAT_EQ(KthLargestAbs(dense, 0), 0.0f);
+}
+
+// Property sweep: kept/discarded partition the input; the kept set
+// dominates the discarded set in magnitude.
+class TopKPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKPropertyTest, PartitionAndDominance) {
+  const size_t k = GetParam();
+  Rng rng(k * 977 + 13);
+  SparseVector in;
+  GradIndex idx = 0;
+  for (int i = 0; i < 200; ++i) {
+    idx += 1 + static_cast<GradIndex>(rng.NextBounded(5));
+    in.PushBack(idx, static_cast<float>(rng.NextGaussian()));
+  }
+  SparseVector kept;
+  SparseVector discarded;
+  TopKSparse(in, k, &kept, &discarded);
+
+  EXPECT_EQ(kept.size(), std::min(k, in.size()));
+  EXPECT_EQ(kept.size() + discarded.size(), in.size());
+
+  // Union of supports reproduces the input exactly.
+  SparseVector merged;
+  MergeSum(kept, discarded, &merged);
+  EXPECT_EQ(merged, in);
+
+  // Dominance: min |kept| >= max |discarded|.
+  float min_kept = 1e30f;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    min_kept = std::min(min_kept, std::fabs(kept.value(i)));
+  }
+  float max_discarded = 0.0f;
+  for (size_t i = 0; i < discarded.size(); ++i) {
+    max_discarded = std::max(max_discarded, std::fabs(discarded.value(i)));
+  }
+  if (!kept.empty() && !discarded.empty()) {
+    EXPECT_GE(min_kept, max_discarded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKPropertyTest,
+                         ::testing::Values(0, 1, 5, 50, 199, 200, 500));
+
+TEST(TopKSelectorTest, ReusableAcrossCalls) {
+  TopKSelector selector;
+  SparseVector kept;
+  for (int round = 0; round < 3; ++round) {
+    SparseVector in = Make({0, 1, 2}, {1.0f, 2.0f, 3.0f});
+    selector.SelectSparse(in, 1, &kept, nullptr);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept.index(0), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace spardl
