@@ -117,6 +117,12 @@ SparseVector ConcatDisjoint(std::span<const SparseVector> parts) {
   SparseVector out;
   out.Reserve(total);
   for (const SparseVector& p : parts) {
+    if (p.empty()) continue;
+    // One boundary CHECK per part (each part's internal order is already an
+    // invariant), so the documented interleave check survives NDEBUG builds
+    // where PushBack's per-entry DCHECK compiles out.
+    SPARDL_CHECK(out.empty() || p.index(0) > out.index(out.size() - 1))
+        << "ConcatDisjoint parts must cover ascending disjoint ranges";
     for (size_t i = 0; i < p.size(); ++i) {
       out.PushBack(p.index(i), p.value(i));
     }

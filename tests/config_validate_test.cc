@@ -1,0 +1,137 @@
+// Exhaustive coverage of SparDLConfig::Validate error paths: every
+// rejection branch, the exact status code, and a message that names the
+// offending field, plus the accepting boundary cases next to each branch.
+
+#include "core/spardl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace spardl {
+namespace {
+
+SparDLConfig GoodConfig() {
+  SparDLConfig config;
+  config.n = 1000;
+  config.k = 10;
+  config.num_workers = 8;
+  config.num_teams = 2;
+  return config;
+}
+
+void ExpectInvalid(const SparDLConfig& config, const std::string& fragment) {
+  const Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(fragment), std::string::npos)
+      << "message was: " << status.message();
+}
+
+TEST(ConfigValidateTest, GoodConfigPasses) {
+  EXPECT_TRUE(GoodConfig().Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsZeroN) {
+  SparDLConfig config = GoodConfig();
+  config.n = 0;
+  ExpectInvalid(config, "n must be positive");
+}
+
+TEST(ConfigValidateTest, RejectsZeroK) {
+  SparDLConfig config = GoodConfig();
+  config.k = 0;
+  ExpectInvalid(config, "k must be in [1, n]");
+}
+
+TEST(ConfigValidateTest, RejectsKAboveN) {
+  SparDLConfig config = GoodConfig();
+  config.k = config.n + 1;
+  ExpectInvalid(config, "k must be in [1, n]");
+}
+
+TEST(ConfigValidateTest, KBoundariesAccepted) {
+  SparDLConfig config = GoodConfig();
+  config.k = 1;
+  EXPECT_TRUE(config.Validate().ok());
+  config.k = config.n;  // k = n degrades to a dense all-reduce but is legal
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonPositiveWorkers) {
+  SparDLConfig config = GoodConfig();
+  config.num_workers = 0;
+  config.num_teams = 1;
+  ExpectInvalid(config, "num_workers must be positive");
+  config.num_workers = -4;
+  ExpectInvalid(config, "num_workers must be positive");
+}
+
+TEST(ConfigValidateTest, RejectsNonPositiveTeams) {
+  SparDLConfig config = GoodConfig();
+  config.num_teams = 0;
+  ExpectInvalid(config, "num_teams must be positive");
+  config.num_teams = -2;
+  ExpectInvalid(config, "num_teams must be positive");
+}
+
+TEST(ConfigValidateTest, RejectsTeamsNotDividingWorkers) {
+  SparDLConfig config = GoodConfig();
+  config.num_workers = 8;
+  config.num_teams = 3;
+  ExpectInvalid(config, "must divide num_workers");
+  // Every divisor of 8 is accepted, including d = P (teams of one).
+  for (int d : {1, 2, 4, 8}) {
+    config.num_teams = d;
+    EXPECT_TRUE(config.Validate().ok()) << "d=" << d;
+  }
+}
+
+TEST(ConfigValidateTest, RecursiveSagNeedsPowerOfTwoTeams) {
+  SparDLConfig config = GoodConfig();
+  config.num_workers = 12;
+  config.num_teams = 6;
+  config.sag_mode = SagMode::kRecursive;
+  ExpectInvalid(config, "power-of-two");
+  // Power-of-two team counts are fine, as is d = 1 (SAG disabled, so the
+  // R-SAG restriction does not apply).
+  config.num_teams = 4;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_teams = 1;
+  EXPECT_TRUE(config.Validate().ok());
+  // B-SAG and kAuto accept any divisor.
+  config.num_teams = 6;
+  config.sag_mode = SagMode::kBruck;
+  EXPECT_TRUE(config.Validate().ok());
+  config.sag_mode = SagMode::kAuto;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsUnsupportedValueBits) {
+  SparDLConfig config = GoodConfig();
+  for (int bits : {0, -8, 1, 2, 12, 24, 64}) {
+    config.value_bits = bits;
+    ExpectInvalid(config, "value_bits");
+  }
+  for (int bits : {4, 8, 16, 32}) {
+    config.value_bits = bits;
+    EXPECT_TRUE(config.Validate().ok()) << "bits=" << bits;
+  }
+}
+
+TEST(ConfigValidateTest, CreatePropagatesValidationError) {
+  SparDLConfig config = GoodConfig();
+  config.k = 0;
+  auto result = SparDL::Create(config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigValidateTest, CreateSucceedsOnValidConfig) {
+  auto result = SparDL::Create(GoodConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value(), nullptr);
+}
+
+}  // namespace
+}  // namespace spardl
