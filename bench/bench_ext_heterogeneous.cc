@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/registry.h"
+#include "bench_util.h"
 #include "common/strings.h"
 #include "dl/grad_profile.h"
 #include "metrics/table.h"
@@ -17,7 +18,8 @@
 namespace spardl {
 namespace {
 
-double PerUpdateSeconds(const std::string& algo, int p, double slowdown) {
+double PerUpdateSeconds(const std::string& algo, int p, double slowdown,
+                        int iterations) {
   const ModelProfile& profile = ProfileByModel("VGG-19");
   const size_t n = profile.num_params;
   const size_t k = n / 100;
@@ -35,7 +37,7 @@ double PerUpdateSeconds(const std::string& algo, int p, double slowdown) {
     algos[static_cast<size_t>(r)] = std::move(*CreateAlgorithm(algo, config));
   }
   const ProfileGradientGenerator generator(n, 11);
-  for (int iter = 0; iter < 2; ++iter) {
+  for (int iter = 0; iter < 1 + iterations; ++iter) {
     if (iter == 1) cluster.ResetClocksAndStats();
     cluster.Run([&](Comm& comm) {
       const SparseVector candidates =
@@ -44,15 +46,17 @@ double PerUpdateSeconds(const std::string& algo, int p, double slowdown) {
       comm.BarrierSyncClocks();
     });
   }
-  return cluster.MaxSimSeconds();
+  return cluster.MaxSimSeconds() / static_cast<double>(iterations);
 }
 
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
-  const int p = 14;
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
+  const int iters = args.iterations_or(1);
   std::printf(
       "== Extension: heterogeneous cluster (one straggler, VGG-19 "
       "profile, P=%d) ==\n\n",
@@ -62,9 +66,9 @@ int main() {
   for (const std::string& algo :
        {std::string("topkdsa"), std::string("topka"), std::string("oktopk"),
         std::string("spardl")}) {
-    const double base = PerUpdateSeconds(algo, p, 1.0);
-    const double slow4 = PerUpdateSeconds(algo, p, 4.0);
-    const double slow16 = PerUpdateSeconds(algo, p, 16.0);
+    const double base = PerUpdateSeconds(algo, p, 1.0, iters);
+    const double slow4 = PerUpdateSeconds(algo, p, 4.0, iters);
+    const double slow16 = PerUpdateSeconds(algo, p, 16.0, iters);
     table.AddRow({algo, StrFormat("%.4f", base), StrFormat("%.4f", slow4),
                   StrFormat("%.4f", slow16),
                   StrFormat("%.1fx", slow16 / base)});

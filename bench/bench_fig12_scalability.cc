@@ -14,10 +14,18 @@
 #include "metrics/table.h"
 #include "train_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
   const ModelProfile& profile = ProfileByModel("VGG-19");
-  const std::vector<int> worker_counts = {5, 8, 11, 14};
+  // --workers caps the sweep (the figure's shape needs several P values,
+  // so the override trims instead of replacing the axis).
+  std::vector<int> worker_counts = {5, 8, 11, 14};
+  if (args.workers) {
+    std::erase_if(worker_counts,
+                  [&](int p) { return p > *args.workers; });
+    if (worker_counts.empty()) worker_counts = {*args.workers};
+  }
   const std::vector<std::string> algos = {"topkdsa", "topka", "gtopk",
                                           "oktopk", "spardl"};
 
@@ -33,14 +41,18 @@ int main() {
       bench::PerUpdateOptions options;
       options.num_workers = p;
       options.k_ratio = 0.01;
-      options.measured_iterations = 1;
+      options.measured_iterations = args.iterations_or(1);
       const bench::PerUpdateResult r =
           bench::MeasurePerUpdate(algo, profile, options);
       total_seconds[algo][p] = r.total_seconds();
     }
   }
-  const double reference = total_seconds["topkdsa"][8];
-  TablePrinter table({"method", "P=5", "P=8", "P=11", "P=14"});
+  const int reference_p =
+      total_seconds["topkdsa"].count(8) != 0 ? 8 : worker_counts.front();
+  const double reference = total_seconds["topkdsa"][reference_p];
+  std::vector<std::string> header = {"method"};
+  for (int p : worker_counts) header.push_back(StrFormat("P=%d", p));
+  TablePrinter table(header);
   for (const std::string& algo : algos) {
     std::vector<std::string> row = {algo};
     for (int p : worker_counts) {
@@ -57,10 +69,10 @@ int main() {
       "== Fig. 12(b): convergence with 8 workers (gTopk included) ==\n\n");
   const TrainingCaseSpec spec = MakeTrainingCase("vgg19");
   bench::TrainRunOptions options;
-  options.num_workers = 8;
+  options.num_workers = 8;  // fixed: gTopk needs a power of two here
   options.k_ratio = 0.01;
   options.epochs = 5;
-  options.iterations_per_epoch = 10;
+  options.iterations_per_epoch = args.iterations_or(10);
   std::vector<bench::ConvergenceSeries> series;
   for (const auto& [algo, label] :
        std::vector<std::pair<std::string, std::string>>{

@@ -16,13 +16,14 @@
 namespace spardl {
 namespace {
 
-void Run(const std::string& model, const std::vector<std::string>& algos) {
+void Run(const std::string& model, const std::vector<std::string>& algos,
+         const bench::HarnessArgs& args) {
   const ModelProfile& profile = ProfileByModel(model);
   bench::PerUpdateOptions options;
-  options.num_workers = 5;
+  options.num_workers = args.workers_or(5);
   options.k_ratio = 0.01;
   options.cost_model = CostModel::InfiniBandRdma();
-  options.measured_iterations = 1;
+  options.measured_iterations = args.iterations_or(1);
   const auto results = bench::MeasurePerUpdateAll(algos, profile, options);
   const double spardl_comm = results.back().comm_seconds;
   TablePrinter table(
@@ -33,18 +34,22 @@ void Run(const std::string& model, const std::vector<std::string>& algos) {
                   StrFormat("%.4f", r.total_seconds()),
                   StrFormat("%.1fx", r.comm_seconds / spardl_comm)});
   }
-  std::printf("%s on RDMA (n=%zu, P=5)\n%s\n", profile.model.c_str(),
-              profile.num_params, table.ToString().c_str());
+  std::printf("%s on RDMA (n=%zu, P=%d)\n%s\n", profile.model.c_str(),
+              profile.num_params, options.num_workers,
+              table.ToString().c_str());
 }
 
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
+  const spardl::bench::HarnessArgs args =
+      spardl::bench::ParseHarnessArgs(argc, argv);
   std::printf(
-      "== Fig. 18: per-update time on the RDMA (InfiniBand) cluster, 5 "
-      "workers ==\n\n");
-  spardl::Run("VGG-19", {"topkdsa", "topka", "oktopk", "spardl"});
-  spardl::Run("BERT", {"oktopk", "spardl"});
+      "== Fig. 18: per-update time on the RDMA (InfiniBand) cluster, %d "
+      "workers ==\n\n",
+      args.workers_or(5));
+  spardl::Run("VGG-19", {"topkdsa", "topka", "oktopk", "spardl"}, args);
+  spardl::Run("BERT", {"oktopk", "spardl"}, args);
   return 0;
 }

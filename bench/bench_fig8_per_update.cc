@@ -16,22 +16,24 @@
 #include "common/strings.h"
 #include "metrics/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
   const std::vector<std::string> models = {"VGG-19", "VGG-11", "LSTM-IMDB",
                                            "LSTM-PTB"};
   const std::vector<std::string> algos = {"topkdsa", "topka", "oktopk",
                                           "spardl"};
   std::printf(
-      "== Fig. 8: per-update time with 14 workers (Ethernet alpha-beta "
-      "model) ==\n\n");
+      "== Fig. 8: per-update time with %d workers (Ethernet alpha-beta "
+      "model) ==\n\n",
+      args.workers_or(14));
 
   for (const std::string& model : models) {
     const ModelProfile& profile = ProfileByModel(model);
     bench::PerUpdateOptions options;
-    options.num_workers = 14;
+    options.num_workers = args.workers_or(14);
     options.k_ratio = 0.01;
-    options.measured_iterations = 1;
+    options.measured_iterations = args.iterations_or(1);
     const auto results =
         bench::MeasurePerUpdateAll(algos, profile, options);
     const double spardl_comm = results.back().comm_seconds;

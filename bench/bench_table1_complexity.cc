@@ -60,7 +60,7 @@ Prediction Predict(const std::string& algo, int p, int d) {
   return {0, 0, 0};
 }
 
-void RunForWorkers(int p) {
+void RunForWorkers(int p, int iterations) {
   const ModelProfile profile = {"-", "synthetic", "-", 4'000'000, 0.0};
   const double k =
       0.01 * static_cast<double>(profile.num_params);
@@ -83,7 +83,7 @@ void RunForWorkers(int p) {
     options.num_workers = p;
     options.k_ratio = 0.01;
     options.num_teams = row.d;
-    options.measured_iterations = 2;
+    options.measured_iterations = iterations;
     const bench::PerUpdateResult result =
         bench::MeasurePerUpdate(row.algo, profile, options);
     const Prediction pred = Predict(row.algo, p, row.d);
@@ -105,7 +105,9 @@ void RunForWorkers(int p) {
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
+  const spardl::bench::HarnessArgs args =
+      spardl::bench::ParseHarnessArgs(argc, argv);
   std::printf(
       "== Table I: communication complexity of sparse All-Reduce methods "
       "==\n"
@@ -116,7 +118,12 @@ int main() {
       "rounds) per hop where the paper rounds to P; gTopk's measured "
       "per-worker receive count undercounts its 2logP critical path, which "
       "spans workers (the simulated clock does capture it).\n\n");
-  spardl::RunForWorkers(8);
-  spardl::RunForWorkers(14);
+  const int iterations = args.iterations_or(2);
+  if (args.workers) {
+    spardl::RunForWorkers(*args.workers, iterations);
+  } else {
+    spardl::RunForWorkers(8, iterations);
+    spardl::RunForWorkers(14, iterations);
+  }
   return 0;
 }

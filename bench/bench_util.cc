@@ -1,11 +1,82 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 
 namespace spardl {
 namespace bench {
+
+namespace {
+
+[[noreturn]] void DieBadValue(const char* what, const char* text) {
+  std::fprintf(stderr,
+               "bad value '%s' for %s: want a positive integer "
+               "(supported flags: --workers N, --iterations N; env "
+               "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS)\n",
+               text, what);
+  std::exit(2);
+}
+
+// The whole token must be a positive integer — trailing garbage
+// ("4junk") and non-numbers abort with a usage message, not a CHECK.
+int ParseIntOrDie(const char* what, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 1 || value > 1'000'000) {
+    DieBadValue(what, text);
+  }
+  return static_cast<int>(value);
+}
+
+// Parses "--<name>=V" or "--<name> V" at argv[i]; advances i past
+// consumed tokens.
+std::optional<int> MatchIntFlag(const char* name, int argc, char** argv,
+                                int* i) {
+  const char* arg = argv[*i];
+  const std::string flag = std::string("--") + name;
+  if (std::strncmp(arg, (flag + "=").c_str(), flag.size() + 1) == 0) {
+    return ParseIntOrDie(flag.c_str(), arg + flag.size() + 1);
+  }
+  if (flag != arg) return std::nullopt;
+  if (*i + 1 >= argc || std::strncmp(argv[*i + 1], "--", 2) == 0) {
+    DieBadValue(flag.c_str(), "<missing>");
+  }
+  ++*i;
+  return ParseIntOrDie(flag.c_str(), argv[*i]);
+}
+
+std::optional<int> EnvInt(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return ParseIntOrDie(name, value);
+}
+
+}  // namespace
+
+HarnessArgs ParseHarnessArgs(int argc, char** argv) {
+  HarnessArgs args;
+  args.workers = EnvInt("SPARDL_BENCH_WORKERS");
+  args.iterations = EnvInt("SPARDL_BENCH_ITERATIONS");
+  for (int i = 1; i < argc; ++i) {
+    if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
+      args.workers = *v;
+    } else if (auto v = MatchIntFlag("iterations", argc, argv, &i)) {
+      args.iterations = *v;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --workers N, "
+                   "--iterations N; env SPARDL_BENCH_WORKERS, "
+                   "SPARDL_BENCH_ITERATIONS)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
 
 PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
                                  const ModelProfile& profile,
@@ -24,7 +95,12 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   config.num_teams = options.num_teams;
   config.residual_mode = ResidualMode::kNone;
 
-  Cluster cluster(options.num_workers, options.cost_model);
+  TopologySpec spec = options.topology.value_or(
+      TopologySpec::Flat(options.num_workers, options.cost_model));
+  if (spec.num_workers == 0) spec.num_workers = options.num_workers;
+  SPARDL_CHECK_EQ(spec.num_workers, options.num_workers)
+      << "topology spec and options disagree on the worker count";
+  Cluster cluster(spec);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {

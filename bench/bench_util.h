@@ -3,15 +3,39 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "baselines/registry.h"
 #include "dl/grad_profile.h"
 #include "simnet/cluster.h"
+#include "topo/topology_spec.h"
 
 namespace spardl {
 namespace bench {
+
+/// Shared harness CLI: every bench main accepts
+///
+///   --workers=N / --workers N       cluster size override
+///   --iterations=N / --iterations N measured iterations override
+///
+/// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` environment
+/// variables as defaults (flag > env > the bench's built-in value), so CI
+/// can run the expensive harnesses at smoke-tier sizes without editing
+/// code. Unknown `--` flags abort with a usage message; positional args
+/// are left for the bench to interpret.
+struct HarnessArgs {
+  std::optional<int> workers;
+  std::optional<int> iterations;
+
+  int workers_or(int fallback) const { return workers.value_or(fallback); }
+  int iterations_or(int fallback) const {
+    return iterations.value_or(fallback);
+  }
+};
+
+HarnessArgs ParseHarnessArgs(int argc, char** argv);
 
 /// Result of measuring one method's per-update communication on a
 /// paper-scale gradient profile.
@@ -34,6 +58,10 @@ struct PerUpdateOptions {
   int num_workers = 14;
   double k_ratio = 0.01;
   CostModel cost_model = CostModel::Ethernet();
+  /// When set, the cluster runs on this fabric instead of the flat
+  /// `cost_model` crossbar. A `num_workers` of 0 in the spec inherits
+  /// `num_workers` above; otherwise the two must agree.
+  std::optional<TopologySpec> topology;
   /// Candidate entries per worker = candidate_factor * k.
   double candidate_factor = 1.5;
   int warmup_iterations = 1;

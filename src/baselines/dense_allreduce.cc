@@ -29,7 +29,9 @@ SparseVector DenseAllReduce::RunOnSparse(Comm& comm,
                                          const SparseVector& candidates) {
   // Materialise the dense vector the candidates stand in for. Only
   // sensible for moderate n; paper-scale profiles never bench the dense
-  // path this way (its cost is closed-form).
+  // path this way (its cost is closed-form). Cold call site: out-of-range
+  // candidate indices are caught in NDEBUG by AddToDense's O(1) boundary
+  // CHECK.
   std::vector<float> dense(n_, 0.0f);
   candidates.AddToDense(dense);
   return Run(comm, dense);

@@ -8,7 +8,18 @@
 namespace spardl {
 
 Cluster::Cluster(int size, CostModel cost_model)
-    : network_(std::make_unique<Network>(size, cost_model)) {
+    : Cluster(std::make_unique<Network>(size, cost_model)) {}
+
+Cluster::Cluster(const TopologySpec& spec)
+    : Cluster(std::make_unique<Network>([&spec] {
+        auto built = spec.Build();
+        SPARDL_CHECK(built.ok()) << built.status().ToString();
+        return std::move(*built);
+      }())) {}
+
+Cluster::Cluster(std::unique_ptr<Network> network)
+    : network_(std::move(network)) {
+  const int size = network_->size();
   comms_.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) {
     comms_.push_back(std::make_unique<Comm>(network_.get(), r));
@@ -63,6 +74,9 @@ void Cluster::ResetClocksAndStats() {
     comm->ResetClock();
     comm->stats().Reset();
   }
+  // Link busy clocks must rewind with the worker clocks, or leftover
+  // warm-up occupancy would delay post-reset flows.
+  network_->topology().ResetLinkClocks();
 }
 
 }  // namespace spardl

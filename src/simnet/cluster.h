@@ -7,6 +7,7 @@
 
 #include "simnet/comm.h"
 #include "simnet/network.h"
+#include "topo/topology_spec.h"
 
 namespace spardl {
 
@@ -14,7 +15,8 @@ namespace spardl {
 /// worker, and runs SPMD worker functions on real threads.
 ///
 /// ```
-/// Cluster cluster(14, CostModel::Ethernet());
+/// Cluster cluster(14, CostModel::Ethernet());                  // flat
+/// Cluster racks(TopologySpec::FatTree(16, 4, 8.0));            // any fabric
 /// cluster.Run([&](Comm& comm) { ... SPMD code ... });
 /// double t = cluster.MaxSimSeconds();
 /// ```
@@ -23,7 +25,13 @@ namespace spardl {
 /// correctly) even on a single hardware core.
 class Cluster {
  public:
+  /// Flat crossbar (the paper's model) shorthand.
   Cluster(int size, CostModel cost_model);
+
+  /// Any fabric; CHECK-fails on an invalid spec (use `spec.Build()` first
+  /// for recoverable validation).
+  explicit Cluster(const TopologySpec& spec);
+
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -31,6 +39,7 @@ class Cluster {
 
   int size() const { return static_cast<int>(comms_.size()); }
   Network& network() { return *network_; }
+  Topology& topology() { return network_->topology(); }
 
   Comm& comm(int rank) { return *comms_[static_cast<size_t>(rank)]; }
   const Comm& comm(int rank) const {
@@ -53,10 +62,13 @@ class Cluster {
   /// Max per-worker received-messages (the paper's per-worker latency x).
   uint64_t MaxMessagesReceived() const;
 
-  /// Zeroes all clocks and stats (between measured phases).
+  /// Zeroes all clocks and stats, including the topology's per-link busy
+  /// clocks (between measured phases).
   void ResetClocksAndStats();
 
  private:
+  explicit Cluster(std::unique_ptr<Network> network);
+
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Comm>> comms_;
 };

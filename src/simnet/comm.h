@@ -26,6 +26,12 @@ namespace spardl {
 ///    and the `log P * alpha` charge for exchange-round algorithms.
 ///  * `Compute` charges local (non-communication) simulated time.
 ///
+/// The `alpha + beta * words` charge above is the default flat fabric; a
+/// `Network` built over a non-flat `Topology` instead charges per-hop
+/// latencies plus bottleneck serialization with shared-link queueing (see
+/// `topo/topology.h`). The "cannot consume before produced" and
+/// receiver-serialisation rules hold on every fabric.
+///
 /// All SparDL algorithms and baselines are written SPMD against this class,
 /// exactly as they would be against an MPI communicator.
 class Comm {
@@ -59,15 +65,16 @@ class Comm {
   }
 
   /// Blocks until a message with `tag` arrives from `src`; advances the
-  /// clock per the α-β model and returns the payload.
+  /// clock per the network's topology cost model and returns the payload.
+  /// On the default flat fabric this is exactly the legacy α-β charge;
+  /// other topologies add per-hop latency and shared-link queueing.
   Payload Recv(int src, int tag = 0) {
     SPARDL_DCHECK(src != rank_) << "self-recv";
     Packet packet = network_->Take(src, rank_, tag);
     const double before = sim_now_;
-    const double ready = packet.sent_at > sim_now_ ? packet.sent_at : sim_now_;
-    sim_now_ = ready +
-               network_->cost_model().MessageSeconds(packet.words) *
-                   network_->WorkerSlowdown(rank_);
+    sim_now_ =
+        network_->DeliverTime(src, rank_, packet.words, packet.sent_at,
+                              sim_now_);
     stats_.messages_received += 1;
     stats_.words_received += packet.words;
     stats_.comm_seconds += sim_now_ - before;

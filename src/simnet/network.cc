@@ -1,8 +1,10 @@
 #include "simnet/network.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/logging.h"
+#include "topo/topologies.h"
 
 namespace spardl {
 
@@ -25,19 +27,19 @@ size_t PayloadWords(const Payload& payload) {
 }
 
 Network::Network(int size, CostModel cost_model)
-    : size_(size), cost_model_(cost_model) {
-  SPARDL_CHECK_GE(size, 1);
-  mailboxes_.resize(static_cast<size_t>(size) * static_cast<size_t>(size));
+    : Network(std::make_unique<FlatTopology>(size, cost_model)) {}
+
+Network::Network(std::unique_ptr<Topology> topology)
+    : topology_(std::move(topology)), size_(topology_->num_workers()) {
+  SPARDL_CHECK_GE(size_, 1);
+  mailboxes_.resize(static_cast<size_t>(size_) * static_cast<size_t>(size_));
   for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
 }
 
 void Network::SetWorkerSlowdown(int rank, double factor) {
   SPARDL_CHECK(rank >= 0 && rank < size_);
   SPARDL_CHECK_GT(factor, 0.0);
-  if (worker_slowdown_.empty()) {
-    worker_slowdown_.assign(static_cast<size_t>(size_), 1.0);
-  }
-  worker_slowdown_[static_cast<size_t>(rank)] = factor;
+  topology_->SetNodeScale(rank, factor);
 }
 
 void Network::Post(int src, int dst, Packet packet) {

@@ -11,6 +11,7 @@
 
 #include "simnet/cost_model.h"
 #include "sparse/sparse_vector.h"
+#include "topo/topology.h"
 
 namespace spardl {
 
@@ -44,26 +45,43 @@ struct Packet {
 /// failure beats a silent deadlock in CI.
 class Network {
  public:
+  /// Flat crossbar shorthand: the paper's alpha-beta model.
   Network(int size, CostModel cost_model);
+
+  /// Any fabric: message costs are delegated to `topology` (which fixes the
+  /// worker count).
+  explicit Network(std::unique_ptr<Topology> topology);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   int size() const { return size_; }
-  const CostModel& cost_model() const { return cost_model_; }
+
+  /// The topology's reference alpha-beta model (exact per-message cost on
+  /// flat; the per-hop budget elsewhere).
+  const CostModel& cost_model() const { return topology_->base_cost(); }
+
+  Topology& topology() { return *topology_; }
+  const Topology& topology() const { return *topology_; }
 
   void set_recv_timeout_seconds(double seconds) {
     recv_timeout_seconds_ = seconds;
   }
 
   /// Heterogeneous-cluster support (the paper's §VI extension): scales the
-  /// per-message cost on `rank`'s receive path by `factor` (>= 1 models a
-  /// straggler with a slower NIC/placement). Set before running workers.
+  /// cost of `rank`'s receive path by `factor` (>= 1 models a straggler
+  /// with a slower NIC/placement). Set before running workers. Folds into
+  /// the topology's per-node link scaling; on the default flat fabric this
+  /// is exactly the historical whole-message scaling.
   void SetWorkerSlowdown(int rank, double factor);
-  double WorkerSlowdown(int rank) const {
-    return worker_slowdown_.empty()
-               ? 1.0
-               : worker_slowdown_[static_cast<size_t>(rank)];
+  double WorkerSlowdown(int rank) const { return topology_->NodeScale(rank); }
+
+  /// Delivery time at `dst` of a `words`-word message injected at `src`
+  /// at simulated time `sent_at`, consumed by a receiver whose clock reads
+  /// `receiver_now`; advances the fabric's link clocks.
+  double DeliverTime(int src, int dst, size_t words, double sent_at,
+                     double receiver_now) {
+    return topology_->ChargeMessage(src, dst, words, sent_at, receiver_now);
   }
 
   /// Deposits a packet into the (src, dst) mailbox.
@@ -100,11 +118,10 @@ class Network {
                        static_cast<size_t>(dst)];
   }
 
+  std::unique_ptr<Topology> topology_;
   int size_;
-  CostModel cost_model_;
   double recv_timeout_seconds_ = 120.0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<double> worker_slowdown_;  // empty = homogeneous
 
   // Reusable barrier (generation-counted; std::barrier needs a fixed
   // completion type, a hand-rolled one is simpler to reuse).

@@ -45,6 +45,15 @@ bool SparseVector::IndicesWithin(GradIndex lo, GradIndex hi) const {
 }
 
 void SparseVector::AddToDense(std::span<float> dense) const {
+  // Indices are strictly ascending (class invariant — enforced by a CHECK
+  // in the constructor; PushBack enforces it with a DCHECK only, so the
+  // guarantee is debug-verified on incrementally built vectors), so one
+  // O(1) CHECK on the last index bounds-checks every write and survives
+  // NDEBUG at every call site — residual absorption and dense
+  // materialisation both scribble into caller-owned buffers, where a
+  // silent overflow is far worse than one comparison per call. The
+  // per-entry DCHECK stays for debug builds.
+  if (!indices_.empty()) SPARDL_CHECK_LT(indices_.back(), dense.size());
   for (size_t i = 0; i < indices_.size(); ++i) {
     SPARDL_DCHECK_LT(indices_[i], dense.size());
     dense[indices_[i]] += values_[i];
@@ -52,6 +61,8 @@ void SparseVector::AddToDense(std::span<float> dense) const {
 }
 
 void SparseVector::ScatterToDense(std::span<float> dense) const {
+  // Same O(1) boundary CHECK as AddToDense (see the rationale there).
+  if (!indices_.empty()) SPARDL_CHECK_LT(indices_.back(), dense.size());
   for (size_t i = 0; i < indices_.size(); ++i) {
     SPARDL_DCHECK_LT(indices_[i], dense.size());
     dense[indices_[i]] = values_[i];

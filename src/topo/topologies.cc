@@ -1,0 +1,142 @@
+#include "topo/topologies.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace spardl {
+
+FlatTopology::FlatTopology(int num_workers, CostModel cost)
+    : Topology(num_workers, cost) {
+  const size_t p = static_cast<size_t>(num_workers);
+  pair_link_.assign(p * p, -1);
+  for (int s = 0; s < num_workers; ++s) {
+    for (int d = 0; d < num_workers; ++d) {
+      if (s == d) continue;
+      const LinkId id = AddLink(s, d, cost.alpha, cost.beta);
+      pair_link_[static_cast<size_t>(s) * p + static_cast<size_t>(d)] = id;
+      // The (s, d) link is d's ingress: legacy WorkerSlowdown(d) scaled the
+      // whole message cost of everything d receives.
+      RegisterIngress(d, id);
+    }
+  }
+}
+
+void FlatTopology::Route(int src, int dst,
+                         std::vector<LinkId>* path) const {
+  path->clear();
+  path->push_back(pair_link_[static_cast<size_t>(src) *
+                                 static_cast<size_t>(num_workers()) +
+                             static_cast<size_t>(dst)]);
+}
+
+double FlatTopology::ChargeMessage(int src, int dst, size_t words,
+                                   double sent_at, double receiver_now) {
+  (void)src;
+  // Exact legacy arithmetic (same operation order as the old Comm::Recv,
+  // including the branch-style max), so flat simulated times stay
+  // bit-for-bit reproducible. No busy-until update: a per-pair link only
+  // carries (src, dst) traffic, and the receiver's own clock already
+  // serializes those messages, so the link can never be busy when the next
+  // message is ready.
+  const double ready = sent_at > receiver_now ? sent_at : receiver_now;
+  return ready + base_cost().MessageSeconds(words) * NodeScale(dst);
+}
+
+StarTopology::StarTopology(int num_workers, CostModel cost)
+    : Topology(num_workers, cost) {
+  const int kSwitch = num_workers;  // graph-node id of the central switch
+  up_.reserve(static_cast<size_t>(num_workers));
+  down_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    up_.push_back(AddLink(w, kSwitch, cost.alpha / 2.0, cost.beta));
+    down_.push_back(AddLink(kSwitch, w, cost.alpha / 2.0, cost.beta));
+    RegisterIngress(w, down_.back());
+  }
+}
+
+void StarTopology::Route(int src, int dst,
+                         std::vector<LinkId>* path) const {
+  path->clear();
+  path->push_back(up_[static_cast<size_t>(src)]);
+  path->push_back(down_[static_cast<size_t>(dst)]);
+}
+
+FatTreeTopology::FatTreeTopology(int num_workers, int rack_size,
+                                 double oversubscription, CostModel cost)
+    : Topology(num_workers, cost),
+      rack_size_(rack_size),
+      oversubscription_(oversubscription) {
+  // Validate before the rack division: rack_size = 0 must hit the CHECK,
+  // not a division by zero in an initializer.
+  SPARDL_CHECK_GE(rack_size, 1);
+  SPARDL_CHECK_GT(oversubscription, 0.0);
+  num_racks_ = (num_workers + rack_size - 1) / rack_size;
+  const int kTorBase = num_workers;          // ToR r has id P + r
+  const int kCore = num_workers + num_racks_;
+  for (int w = 0; w < num_workers; ++w) {
+    const int tor = kTorBase + RackOf(w);
+    up_.push_back(AddLink(w, tor, cost.alpha / 2.0, cost.beta));
+    down_.push_back(AddLink(tor, w, cost.alpha / 2.0, cost.beta));
+    RegisterIngress(w, down_.back());
+  }
+  for (int r = 0; r < num_racks_; ++r) {
+    trunk_up_.push_back(AddLink(kTorBase + r, kCore, cost.alpha / 2.0,
+                                cost.beta * oversubscription_));
+    trunk_down_.push_back(AddLink(kCore, kTorBase + r, cost.alpha / 2.0,
+                                  cost.beta * oversubscription_));
+  }
+}
+
+std::string FatTreeTopology::Describe() const {
+  return StrFormat("fattree(P=%d, racks of %d, oversub %.1f)",
+                   num_workers(), rack_size_, oversubscription_);
+}
+
+void FatTreeTopology::Route(int src, int dst,
+                            std::vector<LinkId>* path) const {
+  path->clear();
+  path->push_back(up_[static_cast<size_t>(src)]);
+  const int src_rack = RackOf(src);
+  const int dst_rack = RackOf(dst);
+  if (src_rack != dst_rack) {
+    path->push_back(trunk_up_[static_cast<size_t>(src_rack)]);
+    path->push_back(trunk_down_[static_cast<size_t>(dst_rack)]);
+  }
+  path->push_back(down_[static_cast<size_t>(dst)]);
+}
+
+RingTopology::RingTopology(int num_workers, CostModel cost)
+    : Topology(num_workers, cost) {
+  for (int w = 0; w < num_workers && num_workers >= 2; ++w) {
+    next_.push_back(
+        AddLink(w, (w + 1) % num_workers, cost.alpha, cost.beta));
+    RegisterIngress((w + 1) % num_workers, next_.back());
+  }
+  // With P = 2 the clockwise link already reaches the only neighbour; a
+  // separate counter-clockwise cable would just duplicate it.
+  for (int w = 0; w < num_workers && num_workers >= 3; ++w) {
+    prev_.push_back(
+        AddLink(w, (w + num_workers - 1) % num_workers, cost.alpha,
+                cost.beta));
+    RegisterIngress((w + num_workers - 1) % num_workers, prev_.back());
+  }
+}
+
+void RingTopology::Route(int src, int dst,
+                         std::vector<LinkId>* path) const {
+  path->clear();
+  const int p = num_workers();
+  const int clockwise = (dst - src + p) % p;
+  const int counter = p - clockwise;
+  if (clockwise <= counter || prev_.empty()) {
+    for (int w = src; w != dst; w = (w + 1) % p) {
+      path->push_back(next_[static_cast<size_t>(w)]);
+    }
+  } else {
+    for (int w = src; w != dst; w = (w + p - 1) % p) {
+      path->push_back(prev_[static_cast<size_t>(w)]);
+    }
+  }
+}
+
+}  // namespace spardl

@@ -1,0 +1,103 @@
+#ifndef SPARDL_TOPO_TOPOLOGIES_H_
+#define SPARDL_TOPO_TOPOLOGIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace spardl {
+
+/// Single crossbar: every ordered worker pair gets a dedicated link with
+/// the full base alpha/beta. This is the paper's flat full-duplex
+/// alpha-beta network (§II) and the historical `CostModel` charging —
+/// `ChargeMessage` is overridden with the exact legacy arithmetic
+/// (`ready + (alpha + beta*words) * node_scale(dst)`), so simulated times
+/// are bit-for-bit identical to the pre-topology simulator. Dedicated
+/// per-pair links can never contend beyond the receiver serialization the
+/// `Comm` clock already models.
+class FlatTopology : public Topology {
+ public:
+  FlatTopology(int num_workers, CostModel cost);
+
+  std::string_view name() const override { return "flat"; }
+  void Route(int src, int dst, std::vector<LinkId>* path) const override;
+  double ChargeMessage(int src, int dst, size_t words, double sent_at,
+                       double receiver_now) override;
+
+ private:
+  // pair_link_[src * P + dst]; the diagonal is unused (-1).
+  std::vector<LinkId> pair_link_;
+};
+
+/// All workers behind one switch: each worker has an uplink and a downlink
+/// to the central switch, each with alpha/2 latency and the full beta, so
+/// an uncontended message costs exactly the flat alpha + beta*words — but
+/// a worker's outgoing messages now serialize on its uplink (real
+/// single-port NICs are not infinitely fast senders), and fan-in to one
+/// worker serializes on its downlink.
+class StarTopology : public Topology {
+ public:
+  StarTopology(int num_workers, CostModel cost);
+
+  std::string_view name() const override { return "star"; }
+  void Route(int src, int dst, std::vector<LinkId>* path) const override;
+
+ private:
+  std::vector<LinkId> up_;    // worker -> switch
+  std::vector<LinkId> down_;  // switch -> worker
+};
+
+/// Two-level tree: workers in racks of `rack_size` behind a top-of-rack
+/// switch, ToRs joined through one core switch by trunk links whose beta
+/// is `oversubscription` times the access beta (oversub > 1 models the
+/// usual under-provisioned rack uplinks). In-rack traffic costs the flat
+/// alpha + beta*words; cross-rack traffic pays 2*alpha latency and
+/// oversub*beta*words at the trunk bottleneck, and all cross-rack flows of
+/// one rack contend on that rack's single trunk.
+class FatTreeTopology : public Topology {
+ public:
+  FatTreeTopology(int num_workers, int rack_size, double oversubscription,
+                  CostModel cost);
+
+  std::string_view name() const override { return "fattree"; }
+  std::string Describe() const override;
+  void Route(int src, int dst, std::vector<LinkId>* path) const override;
+
+  int rack_size() const { return rack_size_; }
+  int num_racks() const { return num_racks_; }
+  double oversubscription() const { return oversubscription_; }
+  int RackOf(int worker) const { return worker / rack_size_; }
+
+ private:
+  int rack_size_;
+  int num_racks_ = 0;  // set in the constructor body, after validation
+  double oversubscription_;
+  std::vector<LinkId> up_;          // worker -> its ToR
+  std::vector<LinkId> down_;        // ToR -> worker
+  std::vector<LinkId> trunk_up_;    // ToR -> core, per rack
+  std::vector<LinkId> trunk_down_;  // core -> ToR, per rack
+};
+
+/// Unidirectional-per-hop ring: worker w has a link to each neighbour
+/// ((w+1) % P and (w-1+P) % P), each with the full alpha and beta. Routes
+/// take the shorter direction (ties go clockwise), so a distance-h message
+/// costs h*alpha + beta*words uncontended and crossing flows contend on
+/// shared segments. Neighbour-pattern algorithms are ring-native; the
+/// log-distance peers of recursive halving pay multi-hop latency.
+class RingTopology : public Topology {
+ public:
+  RingTopology(int num_workers, CostModel cost);
+
+  std::string_view name() const override { return "ring"; }
+  void Route(int src, int dst, std::vector<LinkId>* path) const override;
+
+ private:
+  std::vector<LinkId> next_;  // w -> (w+1) % P
+  std::vector<LinkId> prev_;  // w -> (w-1+P) % P; empty when P < 3
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_TOPO_TOPOLOGIES_H_

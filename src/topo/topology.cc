@@ -1,0 +1,84 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace spardl {
+
+Topology::Topology(int num_workers, CostModel base_cost)
+    : num_workers_(num_workers), base_cost_(base_cost) {
+  SPARDL_CHECK_GE(num_workers, 1);
+  ingress_links_.resize(static_cast<size_t>(num_workers));
+  node_scale_.assign(static_cast<size_t>(num_workers), 1.0);
+}
+
+std::string Topology::Describe() const {
+  return StrFormat("%.*s(P=%d, %d links)",
+                   static_cast<int>(name().size()), name().data(),
+                   num_workers_, num_links());
+}
+
+LinkId Topology::AddLink(int tail, int head, double alpha, double beta) {
+  SPARDL_CHECK_GE(tail, 0);
+  SPARDL_CHECK_GE(head, 0);
+  SPARDL_CHECK_GE(alpha, 0.0);
+  SPARDL_CHECK_GE(beta, 0.0);
+  links_.push_back(LinkState{tail, head, alpha, beta});
+  return static_cast<LinkId>(links_.size()) - 1;
+}
+
+void Topology::RegisterIngress(int node, LinkId link) {
+  SPARDL_CHECK(node >= 0 && node < num_workers_);
+  SPARDL_CHECK(link >= 0 && link < num_links());
+  ingress_links_[static_cast<size_t>(node)].push_back(link);
+}
+
+void Topology::SetNodeScale(int node, double factor) {
+  SPARDL_CHECK(node >= 0 && node < num_workers_);
+  SPARDL_CHECK_GT(factor, 0.0);
+  node_scale_[static_cast<size_t>(node)] = factor;
+  for (LinkId id : ingress_links_[static_cast<size_t>(node)]) {
+    links_[static_cast<size_t>(id)].scale = factor;
+  }
+}
+
+void Topology::ResetLinkClocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (LinkState& link : links_) link.busy_until = 0.0;
+}
+
+LinkInfo Topology::link_info(LinkId id) const {
+  SPARDL_CHECK(id >= 0 && id < num_links());
+  const LinkState& link = links_[static_cast<size_t>(id)];
+  return LinkInfo{link.tail, link.head, link.alpha * link.scale,
+                  link.beta * link.scale};
+}
+
+double Topology::ChargeMessage(int src, int dst, size_t words,
+                               double sent_at, double receiver_now) {
+  // Per-thread scratch: Route is hot (every Recv) and must not allocate
+  // after warm-up.
+  thread_local std::vector<LinkId> path;
+  Route(src, dst, &path);
+  SPARDL_DCHECK(!path.empty()) << "empty route " << src << "->" << dst;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  double head = sent_at;     // when the message header reaches each hop
+  double bottleneck = 0.0;   // slowest link's serialization time
+  for (LinkId id : path) {
+    LinkState& link = links_[static_cast<size_t>(id)];
+    const double start = std::max(head, link.busy_until);
+    const double serialize = link.beta * link.scale * words;
+    head = start + link.alpha * link.scale;
+    // The link stays occupied until the whole body has crossed it.
+    link.busy_until = head + serialize;
+    bottleneck = std::max(bottleneck, serialize);
+  }
+  // Traversal overlaps whatever the receiver is doing; consumption waits
+  // for whichever finishes last.
+  return std::max(receiver_now, head + bottleneck);
+}
+
+}  // namespace spardl

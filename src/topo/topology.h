@@ -1,0 +1,139 @@
+#ifndef SPARDL_TOPO_TOPOLOGY_H_
+#define SPARDL_TOPO_TOPOLOGY_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simnet/cost_model.h"
+
+namespace spardl {
+
+/// Index of a directed link inside a `Topology`.
+using LinkId = int;
+
+/// Static description of one directed link, for inspection and tests.
+///
+/// `tail`/`head` are graph-node ids: workers occupy 0..P-1, switches get
+/// ids >= P. `alpha`/`beta` include any per-node scale currently applied
+/// (see `Topology::SetNodeScale`).
+struct LinkInfo {
+  int tail = 0;
+  int head = 0;
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+/// A simulated network fabric: workers and switches joined by directed
+/// links, each with its own latency (alpha, seconds/message) and
+/// serialization cost (beta, seconds/word).
+///
+/// Subclasses lay out the links and answer `Route(src, dst)`; the base
+/// class owns the link-time accounting engine. A message of `words` sent
+/// at `sent_at` traverses its path for
+///
+///     sum over path links of alpha_l  +  max over path links of beta_l*words
+///
+/// (cut-through forwarding: the header pays every hop's latency, the body
+/// is serialized once at the bottleneck link), and each link it crosses is
+/// occupied for its own serialization time via a per-link busy-until
+/// clock. Two concurrent flows through a shared link therefore queue
+/// instead of magically overlapping — the behaviour the flat alpha-beta
+/// model of the paper (§II) cannot express. Link occupancy is anchored at
+/// the *send* time, so a receiver that sits in local compute before
+/// ingesting cannot retroactively occupy upstream links; its delivery is
+/// simply `max(receiver_now, network arrival)` (network traversal
+/// overlaps receiver compute on non-flat fabrics).
+///
+/// Determinism: on contended links the queueing order is the wall-clock
+/// order in which the receiving workers execute `Recv`. Because occupancy
+/// windows are anchored at logical send times, a different order can only
+/// shift a flow by the other flows' queueing windows (their alpha +
+/// serialization), never by receiver-side compute — bounded, and zero when
+/// contending flows are symmetric. `FlatTopology` gives every ordered
+/// worker pair a dedicated link and overrides the charge with the legacy
+/// closed form, so the default remains exactly deterministic (and
+/// bit-for-bit equal to the historical `CostModel` charging). Tests on
+/// contended topologies should assert order-robust bounds, not exact
+/// times.
+///
+/// Thread safety: `Route` must be const and thread-safe; `ChargeMessage`
+/// serializes on an internal mutex. `SetNodeScale` must be called before
+/// worker threads run (same contract as the old `SetWorkerSlowdown`).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// The reference alpha-beta model this fabric was derived from (used by
+  /// analytical predictions and as the per-hop budget).
+  const CostModel& base_cost() const { return base_cost_; }
+
+  virtual std::string_view name() const = 0;
+
+  /// One-line human description ("fattree(P=8, racks of 4, oversub 4)").
+  virtual std::string Describe() const;
+
+  /// Writes the link ids a message from worker `src` to worker `dst`
+  /// crosses, in order, into `*path` (cleared first). src != dst.
+  virtual void Route(int src, int dst, std::vector<LinkId>* path) const = 0;
+
+  /// Advances the per-link clocks for one `words`-word message injected at
+  /// `src` at simulated time `sent_at`; returns its delivery time at
+  /// `dst`, which is never before `receiver_now` (the receiver's clock
+  /// when it ingests). Thread-safe.
+  virtual double ChargeMessage(int src, int dst, size_t words,
+                               double sent_at, double receiver_now);
+
+  /// Folds per-worker heterogeneity (the legacy `WorkerSlowdown`) into the
+  /// fabric: scales the cost of `node`'s ingress link(s) by `factor`
+  /// (>= 1 models a straggler NIC). Call before running workers.
+  void SetNodeScale(int node, double factor);
+  double NodeScale(int node) const {
+    return node_scale_[static_cast<size_t>(node)];
+  }
+
+  /// Clears every link's busy-until clock (between measured phases, in
+  /// lockstep with resetting worker clocks).
+  void ResetLinkClocks();
+
+  int num_links() const { return static_cast<int>(links_.size()); }
+  LinkInfo link_info(LinkId id) const;
+
+ protected:
+  Topology(int num_workers, CostModel base_cost);
+
+  /// Registers a directed link from graph node `tail` to `head`.
+  LinkId AddLink(int tail, int head, double alpha, double beta);
+
+  /// Marks `link` as part of worker `node`'s receive path: `SetNodeScale`
+  /// on that node will scale this link's alpha and beta.
+  void RegisterIngress(int node, LinkId link);
+
+ private:
+  struct LinkState {
+    int tail;
+    int head;
+    double alpha;
+    double beta;
+    double scale = 1.0;
+    double busy_until = 0.0;
+  };
+
+  int num_workers_;
+  CostModel base_cost_;
+  std::vector<LinkState> links_;
+  std::vector<std::vector<LinkId>> ingress_links_;  // per worker
+  std::vector<double> node_scale_;                  // per worker
+  std::mutex mutex_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_TOPO_TOPOLOGY_H_

@@ -1,0 +1,119 @@
+#include "topo/topology_spec.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "topo/topologies.h"
+
+namespace spardl {
+
+std::string_view TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFlat:
+      return "flat";
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kFatTree:
+      return "fattree";
+    case TopologyKind::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+TopologySpec TopologySpec::Flat(int num_workers, CostModel cost) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kFlat;
+  spec.num_workers = num_workers;
+  spec.cost = cost;
+  return spec;
+}
+
+TopologySpec TopologySpec::Star(int num_workers, CostModel cost) {
+  TopologySpec spec = Flat(num_workers, cost);
+  spec.kind = TopologyKind::kStar;
+  return spec;
+}
+
+TopologySpec TopologySpec::FatTree(int num_workers, int rack_size,
+                                   double oversubscription, CostModel cost) {
+  TopologySpec spec = Flat(num_workers, cost);
+  spec.kind = TopologyKind::kFatTree;
+  spec.rack_size = rack_size;
+  spec.oversubscription = oversubscription;
+  return spec;
+}
+
+TopologySpec TopologySpec::Ring(int num_workers, CostModel cost) {
+  TopologySpec spec = Flat(num_workers, cost);
+  spec.kind = TopologyKind::kRing;
+  return spec;
+}
+
+Result<TopologySpec> TopologySpec::Parse(std::string_view text,
+                                         int num_workers, CostModel cost) {
+  if (text == "flat") return Flat(num_workers, cost);
+  if (text == "star") return Star(num_workers, cost);
+  if (text == "ring") return Ring(num_workers, cost);
+  if (text == "fattree") return FatTree(num_workers, 4, 4.0, cost);
+  constexpr std::string_view kFatTreePrefix = "fattree:";
+  if (text.substr(0, kFatTreePrefix.size()) == kFatTreePrefix) {
+    const std::string params(text.substr(kFatTreePrefix.size()));
+    char* after_rack = nullptr;
+    const long rack = std::strtol(params.c_str(), &after_rack, 10);
+    if (after_rack == params.c_str() || *after_rack != 'x') {
+      return Status::InvalidArgument(
+          StrFormat("bad fat-tree params '%s' (want <rack_size>x<oversub>)",
+                    params.c_str()));
+    }
+    char* after_oversub = nullptr;
+    const double oversub = std::strtod(after_rack + 1, &after_oversub);
+    if (after_oversub == after_rack + 1 || *after_oversub != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("bad fat-tree oversub in '%s'", params.c_str()));
+    }
+    return FatTree(num_workers, static_cast<int>(rack), oversub, cost);
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown topology '%.*s' (want flat|star|ring|fattree[:RxO])",
+      static_cast<int>(text.size()), text.data()));
+}
+
+Result<std::unique_ptr<Topology>> TopologySpec::Build() const {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("topology needs num_workers >= 1");
+  }
+  switch (kind) {
+    case TopologyKind::kFlat:
+      return std::unique_ptr<Topology>(
+          std::make_unique<FlatTopology>(num_workers, cost));
+    case TopologyKind::kStar:
+      return std::unique_ptr<Topology>(
+          std::make_unique<StarTopology>(num_workers, cost));
+    case TopologyKind::kFatTree:
+      if (rack_size < 1) {
+        return Status::InvalidArgument("fat-tree needs rack_size >= 1");
+      }
+      if (oversubscription <= 0.0) {
+        return Status::InvalidArgument("fat-tree needs oversubscription > 0");
+      }
+      return std::unique_ptr<Topology>(std::make_unique<FatTreeTopology>(
+          num_workers, rack_size, oversubscription, cost));
+    case TopologyKind::kRing:
+      return std::unique_ptr<Topology>(
+          std::make_unique<RingTopology>(num_workers, cost));
+  }
+  return Status::Internal("unreachable topology kind");
+}
+
+std::string TopologySpec::Describe() const {
+  if (kind == TopologyKind::kFatTree) {
+    return StrFormat("fattree(P=%d, racks of %d, oversub %.1f)", num_workers,
+                     rack_size, oversubscription);
+  }
+  return StrFormat("%.*s(P=%d)",
+                   static_cast<int>(TopologyKindName(kind).size()),
+                   TopologyKindName(kind).data(), num_workers);
+}
+
+}  // namespace spardl

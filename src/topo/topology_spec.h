@@ -1,0 +1,69 @@
+#ifndef SPARDL_TOPO_TOPOLOGY_SPEC_H_
+#define SPARDL_TOPO_TOPOLOGY_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "simnet/cost_model.h"
+#include "topo/topology.h"
+
+namespace spardl {
+
+/// Which fabric layout a `TopologySpec` builds.
+enum class TopologyKind {
+  kFlat,     // single crossbar; the paper's flat alpha-beta model
+  kStar,     // all workers behind one switch
+  kFatTree,  // racks behind ToRs, oversubscribed trunks to one core
+  kRing,     // neighbour links only
+};
+
+std::string_view TopologyKindName(TopologyKind kind);
+
+/// Value-type description of a simulated fabric. Copyable, validated at
+/// `Build` time, and threadable through configs/benches/CLIs — the one
+/// knob that lets every algorithm, baseline, bench, and example run on any
+/// topology unchanged (`Cluster` accepts it directly).
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFlat;
+  /// Cluster size P. Benches treat 0 as "fill in from their own worker
+  /// count"; `Build` rejects it.
+  int num_workers = 0;
+  /// The reference alpha-beta budget; concrete topologies split it across
+  /// hops so an uncontended one-hop-equivalent message still costs
+  /// alpha + beta*words.
+  CostModel cost = CostModel::Ethernet();
+  /// Fat-tree only: workers per rack.
+  int rack_size = 4;
+  /// Fat-tree only: trunk beta multiplier (> 1 = under-provisioned rack
+  /// uplink).
+  double oversubscription = 4.0;
+
+  static TopologySpec Flat(int num_workers,
+                           CostModel cost = CostModel::Ethernet());
+  static TopologySpec Star(int num_workers,
+                           CostModel cost = CostModel::Ethernet());
+  static TopologySpec FatTree(int num_workers, int rack_size,
+                              double oversubscription,
+                              CostModel cost = CostModel::Ethernet());
+  static TopologySpec Ring(int num_workers,
+                           CostModel cost = CostModel::Ethernet());
+
+  /// Parses "flat", "star", "ring", "fattree" or
+  /// "fattree:<rack_size>x<oversub>" (e.g. "fattree:4x8"). `num_workers`
+  /// and `cost` fill the corresponding fields.
+  static Result<TopologySpec> Parse(std::string_view text, int num_workers,
+                                    CostModel cost = CostModel::Ethernet());
+
+  /// Validates and instantiates the fabric.
+  Result<std::unique_ptr<Topology>> Build() const;
+
+  /// One-line human description, e.g. "fattree(P=8, racks of 4, oversub
+  /// 4.0)".
+  std::string Describe() const;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_TOPO_TOPOLOGY_SPEC_H_

@@ -48,6 +48,20 @@ TEST(SparseVectorTest, ConstructorRejectsLengthMismatch) {
   EXPECT_DEATH(SparseVector({1, 2}, {1.0f}), "");
 }
 
+// The boundary CHECK is a plain CHECK (not DCHECK), so these fire in
+// NDEBUG/RelWithDebInfo builds too.
+TEST(SparseVectorTest, AddToDenseRejectsOutOfRangeIndices) {
+  SparseVector v = Make({1, 5}, {1.0f, 2.0f});
+  std::vector<float> dense(5, 0.0f);
+  EXPECT_DEATH(v.AddToDense(dense), "");
+}
+
+TEST(SparseVectorTest, ScatterToDenseRejectsOutOfRangeIndices) {
+  SparseVector v = Make({1, 5}, {1.0f, 2.0f});
+  std::vector<float> dense(5, 0.0f);
+  EXPECT_DEATH(v.ScatterToDense(dense), "");
+}
+
 TEST(SparseVectorTest, WireWordsIsTwoPerEntry) {
   SparseVector v = Make({1, 5, 9}, {1.0f, 2.0f, 3.0f});
   EXPECT_EQ(v.WireWords(), 6u);

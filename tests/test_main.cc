@@ -1,0 +1,14 @@
+// Shared gtest main for every suite. The simulated cluster runs one real
+// thread per worker, and gtest's default "fast" death-test style forks
+// straight out of a (potentially) multi-threaded process, which is
+// undefined behaviour; "threadsafe" re-executes the test binary instead.
+// Set before InitGoogleTest so --gtest_death_test_style on the command
+// line still wins.
+
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,396 @@
+// The topology subsystem: routing-path invariants on every fabric,
+// bit-for-bit flat-topology equivalence with the legacy CostModel
+// charging, and the contention regressions (two flows through a shared
+// link must serialize instead of magically overlapping).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "simnet/cluster.h"
+#include "test_util.h"
+#include "topo/topologies.h"
+#include "topo/topology_spec.h"
+
+namespace spardl {
+namespace {
+
+std::vector<TopologySpec> AllSpecs(int p, CostModel cm) {
+  return {TopologySpec::Flat(p, cm), TopologySpec::Star(p, cm),
+          TopologySpec::FatTree(p, /*rack_size=*/3, /*oversub=*/4.0, cm),
+          TopologySpec::Ring(p, cm)};
+}
+
+// Every route must be a contiguous walk from src's terminal to dst's
+// terminal over valid, non-repeating links.
+TEST(TopologyRoutingTest, PathsAreContiguousWalks) {
+  for (int p : {2, 3, 7, 8}) {
+    for (const TopologySpec& spec : AllSpecs(p, CostModel::Ethernet())) {
+      auto built = spec.Build();
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      const std::unique_ptr<Topology>& topo = *built;
+      std::vector<LinkId> path;
+      for (int src = 0; src < p; ++src) {
+        for (int dst = 0; dst < p; ++dst) {
+          if (src == dst) continue;
+          topo->Route(src, dst, &path);
+          ASSERT_FALSE(path.empty()) << spec.Describe();
+          std::set<LinkId> seen;
+          int at = src;
+          for (LinkId id : path) {
+            ASSERT_GE(id, 0) << spec.Describe();
+            ASSERT_LT(id, topo->num_links()) << spec.Describe();
+            EXPECT_TRUE(seen.insert(id).second)
+                << spec.Describe() << ": link repeated on " << src << "->"
+                << dst;
+            const LinkInfo link = topo->link_info(id);
+            EXPECT_EQ(link.tail, at)
+                << spec.Describe() << ": discontinuous path " << src << "->"
+                << dst;
+            at = link.head;
+          }
+          EXPECT_EQ(at, dst) << spec.Describe();
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyRoutingTest, RingTakesShorterDirection) {
+  RingTopology ring(8, CostModel::Ethernet());
+  std::vector<LinkId> path;
+  ring.Route(0, 1, &path);
+  EXPECT_EQ(path.size(), 1u);
+  ring.Route(0, 7, &path);
+  EXPECT_EQ(path.size(), 1u);  // counter-clockwise, not 7 hops around
+  ring.Route(0, 4, &path);
+  EXPECT_EQ(path.size(), 4u);
+  ring.Route(2, 6, &path);
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(TopologyRoutingTest, FatTreeCrossRackUsesTrunks) {
+  FatTreeTopology tree(8, /*rack_size=*/4, /*oversub=*/4.0,
+                       CostModel::Ethernet());
+  std::vector<LinkId> path;
+  tree.Route(0, 3, &path);  // same rack
+  EXPECT_EQ(path.size(), 2u);
+  tree.Route(0, 4, &path);  // cross rack
+  EXPECT_EQ(path.size(), 4u);
+  // The trunk hop carries the oversubscribed beta.
+  double max_beta = 0.0;
+  for (LinkId id : path) {
+    max_beta = std::max(max_beta, tree.link_info(id).beta);
+  }
+  EXPECT_DOUBLE_EQ(max_beta, CostModel::Ethernet().beta * 4.0);
+}
+
+TEST(TopologySpecTest, ParseRoundTrips) {
+  for (const char* text : {"flat", "star", "ring", "fattree", "fattree:4x8"}) {
+    auto spec = TopologySpec::Parse(text, 8);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_TRUE((*spec).Build().ok()) << text;
+  }
+  auto spec = TopologySpec::Parse("fattree:2x16", 8);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec).rack_size, 2);
+  EXPECT_DOUBLE_EQ((*spec).oversubscription, 16.0);
+
+  EXPECT_FALSE(TopologySpec::Parse("torus", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("fattree:x", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("fattree:4xgarbage", 8).ok());
+  EXPECT_FALSE(TopologySpec::Flat(0).Build().ok());
+  EXPECT_FALSE(TopologySpec::FatTree(8, 0, 4.0).Build().ok());
+  EXPECT_FALSE(TopologySpec::FatTree(8, 4, 0.0).Build().ok());
+}
+
+// Constructing the fabric directly (bypassing Build's validation) must die
+// on the CHECK, not divide by zero computing the rack count.
+TEST(TopologySpecTest, FatTreeCtorRejectsZeroRackSize) {
+  EXPECT_DEATH(FatTreeTopology(8, 0, 4.0, CostModel::Ethernet()), "");
+}
+
+// The tentpole equivalence: a Cluster over TopologySpec::Flat must charge
+// *exactly* (bit-for-bit, not approximately) what the legacy
+// Cluster(size, CostModel) charged, on a full SparDL run.
+TEST(FlatEquivalenceTest, SparDLSimTimesMatchLegacyExactly) {
+  const int p = 8;
+  const size_t n = 4000;
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = 400;
+  config.num_workers = p;
+  config.num_teams = 2;
+
+  std::vector<double> makespans;
+  std::vector<double> per_rank[2];
+  int slot = 0;
+  for (bool via_topology : {false, true}) {
+    auto cluster =
+        via_topology
+            ? std::make_unique<Cluster>(
+                  TopologySpec::Flat(p, CostModel::Ethernet()))
+            : std::make_unique<Cluster>(p, CostModel::Ethernet());
+    std::vector<std::unique_ptr<SparseAllReduce>> algos(
+        static_cast<size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      algos[static_cast<size_t>(r)] =
+          std::move(*CreateAlgorithm("spardl", config));
+    }
+    for (int iter = 0; iter < 3; ++iter) {
+      cluster->Run([&](Comm& comm) {
+        std::vector<float> grad = testing::RandomGradient(
+            n, 17 + static_cast<uint64_t>(comm.rank()) +
+                   1000 * static_cast<uint64_t>(iter));
+        algos[static_cast<size_t>(comm.rank())]->Run(comm, grad);
+      });
+    }
+    makespans.push_back(cluster->MaxSimSeconds());
+    for (int r = 0; r < p; ++r) {
+      per_rank[slot].push_back(cluster->comm(r).sim_now());
+    }
+    ++slot;
+  }
+  EXPECT_EQ(makespans[0], makespans[1]);  // exact, not EXPECT_DOUBLE_EQ
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(per_rank[0][static_cast<size_t>(r)],
+              per_rank[1][static_cast<size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+// An uncontended single flow costs the flat alpha + beta*words on star and
+// in-rack fat-tree too (the per-hop split preserves the end-to-end budget).
+TEST(TopologyChargeTest, UncontendedSingleFlowMatchesFlatBudget) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 100;
+  const double expected = cm.alpha + static_cast<double>(words) * cm.beta;
+  for (TopologySpec spec :
+       {TopologySpec::Star(4, cm),
+        TopologySpec::FatTree(4, /*rack_size=*/4, /*oversub=*/8.0, cm)}) {
+    Cluster cluster(spec);
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(1, Payload(std::vector<float>(words, 1.0f)));
+      } else if (comm.rank() == 1) {
+        comm.RecvAs<std::vector<float>>(0);
+        EXPECT_DOUBLE_EQ(comm.sim_now(), expected) << spec.Describe();
+      }
+    });
+  }
+}
+
+TEST(TopologyChargeTest, FatTreeCrossRackPaysLatencyAndOversub) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 100;
+  Cluster cluster(TopologySpec::FatTree(4, /*rack_size=*/2,
+                                        /*oversub=*/8.0, cm));
+  cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+    } else if (comm.rank() == 2) {
+      comm.RecvAs<std::vector<float>>(0);
+      // 4 hops x alpha/2 + oversub * beta * words at the trunk bottleneck.
+      EXPECT_DOUBLE_EQ(comm.sim_now(),
+                       2.0 * cm.alpha +
+                           8.0 * cm.beta * static_cast<double>(words));
+    }
+  });
+}
+
+TEST(TopologyChargeTest, RingChargesPerHopLatency) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 50;
+  Cluster cluster(TopologySpec::Ring(6, cm));
+  cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(3, Payload(std::vector<float>(words, 1.0f)));
+    } else if (comm.rank() == 3) {
+      comm.RecvAs<std::vector<float>>(0);
+      // Three hops of alpha, one bottleneck serialization.
+      EXPECT_DOUBLE_EQ(comm.sim_now(),
+                       3.0 * cm.alpha +
+                           cm.beta * static_cast<double>(words));
+    }
+  });
+}
+
+// The contention regression: one sender fanning out to two receivers
+// overlaps fully on the flat crossbar, but must serialize on its single
+// star uplink. Symmetric flows make the bound robust to the (wall-clock)
+// order in which the receivers charge the link.
+TEST(TopologyContentionTest, SharedStarUplinkSerializesTwoFlows) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  const double serialize = cm.beta * static_cast<double>(words);
+
+  double makespan[2];
+  int slot = 0;
+  for (TopologySpec spec :
+       {TopologySpec::Flat(3, cm), TopologySpec::Star(3, cm)}) {
+    Cluster cluster(spec);
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(1, Payload(std::vector<float>(words, 1.0f)));
+        comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+      } else {
+        comm.RecvAs<std::vector<float>>(0);
+      }
+    });
+    makespan[slot++] = cluster.MaxSimSeconds();
+  }
+  // Flat: both receivers finish at alpha + serialize.
+  EXPECT_DOUBLE_EQ(makespan[0], cm.alpha + serialize);
+  // Star: whichever flow queues second leaves the uplink one full
+  // serialization later, so the makespan grows by ~serialize.
+  EXPECT_GT(makespan[1], makespan[0] + 0.9 * serialize);
+  // And an upper bound: queueing, not double charging everywhere.
+  EXPECT_LT(makespan[1], makespan[0] + 1.5 * serialize);
+}
+
+// Link occupancy anchors at the *send* time: a receiver that sits in
+// local compute before ingesting must not retroactively occupy the shared
+// uplink and delay the other receiver by its compute time. Whichever
+// wall-clock order the two charges happen in, the prompt receiver is
+// delayed by at most the other flow's queueing window (alpha +
+// serialization), never by the 100 s compute.
+TEST(TopologyContentionTest, LateReceiverDoesNotInflateSharedLink) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  const double serialize = cm.beta * static_cast<double>(words);
+  Cluster cluster(TopologySpec::Star(3, cm));
+  cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, Payload(std::vector<float>(words, 1.0f)));
+      comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+    } else if (comm.rank() == 1) {
+      comm.Compute(100.0);  // late ingest: traversal overlaps compute
+      comm.RecvAs<std::vector<float>>(0);
+      EXPECT_DOUBLE_EQ(comm.sim_now(), 100.0);
+    } else {
+      comm.RecvAs<std::vector<float>>(0);
+      EXPECT_LE(comm.sim_now(), 2.0 * cm.alpha + 3.0 * serialize);
+    }
+  });
+}
+
+// Same regression through a rack trunk: two cross-rack flows with
+// distinct senders and receivers share only the rack-0 uplink.
+TEST(TopologyContentionTest, SharedRackTrunkSerializesCrossRackFlows) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  const double oversub = 4.0;
+  const double trunk_serialize =
+      oversub * cm.beta * static_cast<double>(words);
+
+  Cluster cluster(TopologySpec::FatTree(4, /*rack_size=*/2, oversub, cm));
+  cluster.Run([&](Comm& comm) {
+    // rank 0 -> rank 2 and rank 1 -> rank 3, both rack 0 -> rack 1.
+    if (comm.rank() == 0) {
+      comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+    } else if (comm.rank() == 1) {
+      comm.Send(3, Payload(std::vector<float>(words, 1.0f)));
+    } else {
+      comm.RecvAs<std::vector<float>>(comm.rank() - 2);
+    }
+  });
+  const double uncontended = 2.0 * cm.alpha + trunk_serialize;
+  EXPECT_GT(cluster.MaxSimSeconds(), uncontended + 0.9 * trunk_serialize);
+}
+
+// WorkerSlowdown folds into ingress-link scaling on every fabric and keeps
+// its exact legacy semantics on flat.
+TEST(TopologyNodeScaleTest, SlowdownScalesIngress) {
+  const CostModel cm{1.0, 0.0};
+  {
+    Cluster cluster(TopologySpec::Flat(2, cm));
+    cluster.network().SetWorkerSlowdown(1, 3.0);
+    cluster.Run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(1, Payload(int64_t{1}));
+      } else {
+        comm.RecvAs<int64_t>(0);
+        EXPECT_DOUBLE_EQ(comm.sim_now(), 3.0);  // legacy: 3x the full alpha
+      }
+    });
+  }
+  {
+    Cluster cluster(TopologySpec::Star(2, cm));
+    cluster.network().SetWorkerSlowdown(1, 3.0);
+    cluster.Run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(1, Payload(int64_t{1}));
+      } else {
+        comm.RecvAs<int64_t>(0);
+        // Only the downlink half of the alpha scales: 0.5 + 3 * 0.5.
+        EXPECT_DOUBLE_EQ(comm.sim_now(), 2.0);
+      }
+    });
+  }
+}
+
+// Reset must rewind link busy clocks along with worker clocks, or warm-up
+// occupancy would leak into the measured phase.
+TEST(TopologyResetTest, ResetClearsLinkClocks) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  Cluster cluster(TopologySpec::Star(3, cm));
+  double first = 0.0;
+  for (int phase = 0; phase < 2; ++phase) {
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(1, Payload(std::vector<float>(words, 1.0f)));
+        comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+      } else {
+        comm.RecvAs<std::vector<float>>(0);
+      }
+    });
+    if (phase == 0) {
+      first = cluster.MaxSimSeconds();
+      cluster.ResetClocksAndStats();
+    }
+  }
+  EXPECT_DOUBLE_EQ(cluster.MaxSimSeconds(), first);
+}
+
+// Every algorithm still produces consistent replicas on a contended,
+// multi-hop fabric — topology changes timing, never data.
+TEST(TopologyConsistencyTest, AlgorithmsConsistentOnEveryFabric) {
+  const int p = 6;
+  const size_t n = 600;
+  AlgorithmConfig config;
+  config.n = n;
+  config.k = 60;
+  config.num_workers = p;
+
+  for (const TopologySpec& spec : AllSpecs(p, CostModel::Ethernet())) {
+    for (const char* algo : {"spardl", "topka", "oktopk"}) {
+      Cluster cluster(spec);
+      std::vector<std::unique_ptr<SparseAllReduce>> algos(
+          static_cast<size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        algos[static_cast<size_t>(r)] =
+            std::move(*CreateAlgorithm(algo, config));
+      }
+      std::vector<SparseVector> outs(static_cast<size_t>(p));
+      cluster.Run([&](Comm& comm) {
+        std::vector<float> grad = testing::RandomGradient(
+            n, 11 + static_cast<uint64_t>(comm.rank()));
+        outs[static_cast<size_t>(comm.rank())] =
+            algos[static_cast<size_t>(comm.rank())]->Run(comm, grad);
+      });
+      for (int r = 1; r < p; ++r) {
+        EXPECT_EQ(outs[static_cast<size_t>(r)], outs[0])
+            << spec.Describe() << " " << algo;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spardl
