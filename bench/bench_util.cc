@@ -12,12 +12,14 @@ namespace bench {
 
 namespace {
 
+constexpr const char* kFlagHelp =
+    "(supported flags: --workers N, --iterations N, --topology SPEC, "
+    "--engine busy|event; env SPARDL_BENCH_WORKERS, "
+    "SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, SPARDL_BENCH_ENGINE)";
+
 [[noreturn]] void DieBadValue(const char* what, const char* text) {
-  std::fprintf(stderr,
-               "bad value '%s' for %s: want a positive integer "
-               "(supported flags: --workers N, --iterations N; env "
-               "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS)\n",
-               text, what);
+  std::fprintf(stderr, "bad value '%s' for %s: want a positive integer %s\n",
+               text, what, kFlagHelp);
   std::exit(2);
 }
 
@@ -49,10 +51,48 @@ std::optional<int> MatchIntFlag(const char* name, int argc, char** argv,
   return ParseIntOrDie(flag.c_str(), argv[*i]);
 }
 
+[[noreturn]] void DieMissingValue(const char* what) {
+  std::fprintf(stderr, "missing value for %s %s\n", what, kFlagHelp);
+  std::exit(2);
+}
+
+// Parses "--<name>=V" or "--<name> V" at argv[i] as a raw string;
+// advances i past consumed tokens.
+std::optional<std::string> MatchStringFlag(const char* name, int argc,
+                                           char** argv, int* i) {
+  const char* arg = argv[*i];
+  const std::string flag = std::string("--") + name;
+  if (std::strncmp(arg, (flag + "=").c_str(), flag.size() + 1) == 0) {
+    return std::string(arg + flag.size() + 1);
+  }
+  if (flag != arg) return std::nullopt;
+  if (*i + 1 >= argc || std::strncmp(argv[*i + 1], "--", 2) == 0) {
+    DieMissingValue(flag.c_str());
+  }
+  ++*i;
+  return std::string(argv[*i]);
+}
+
+ChargeEngine ParseEngineOrDie(const std::string& text) {
+  if (text == "busy" || text == "busy-until") return ChargeEngine::kBusyUntil;
+  if (text == "event" || text == "event-ordered") {
+    return ChargeEngine::kEventOrdered;
+  }
+  std::fprintf(stderr, "bad value '%s' for --engine: want busy|event %s\n",
+               text.c_str(), kFlagHelp);
+  std::exit(2);
+}
+
 std::optional<int> EnvInt(const char* name) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return std::nullopt;
   return ParseIntOrDie(name, value);
+}
+
+std::optional<std::string> EnvString(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
 }
 
 }  // namespace
@@ -61,21 +101,79 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   HarnessArgs args;
   args.workers = EnvInt("SPARDL_BENCH_WORKERS");
   args.iterations = EnvInt("SPARDL_BENCH_ITERATIONS");
+  args.topology = EnvString("SPARDL_BENCH_TOPOLOGY");
+  if (auto engine = EnvString("SPARDL_BENCH_ENGINE")) {
+    args.engine = ParseEngineOrDie(*engine);
+  }
   for (int i = 1; i < argc; ++i) {
     if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
       args.workers = *v;
     } else if (auto v = MatchIntFlag("iterations", argc, argv, &i)) {
       args.iterations = *v;
+    } else if (auto v = MatchStringFlag("topology", argc, argv, &i)) {
+      args.topology = *v;
+    } else if (auto v = MatchStringFlag("engine", argc, argv, &i)) {
+      args.engine = ParseEngineOrDie(*v);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      std::fprintf(stderr,
-                   "unknown flag '%s' (supported: --workers N, "
-                   "--iterations N; env SPARDL_BENCH_WORKERS, "
-                   "SPARDL_BENCH_ITERATIONS)\n",
-                   argv[i]);
+      std::fprintf(stderr, "unknown flag '%s' %s\n", argv[i], kFlagHelp);
       std::exit(2);
     }
   }
   return args;
+}
+
+std::vector<TopologySpec> DefaultFabricSweep(int num_workers,
+                                             CostModel cost) {
+  const int rack_size = (num_workers + 1) / 2;  // two racks
+  std::vector<TopologySpec> fabrics = {
+      TopologySpec::Flat(num_workers, cost),
+      TopologySpec::Star(num_workers, cost),
+      TopologySpec::FatTree(num_workers, rack_size, 4.0, cost),
+      TopologySpec::FatTree(num_workers, rack_size, 4.0, cost,
+                            /*num_cores=*/2),
+      TopologySpec::Ring(num_workers, cost)};
+  if (num_workers % 2 == 0 && num_workers >= 4) {
+    fabrics.push_back(TopologySpec::Torus(num_workers / 2, 2, cost));
+  }
+  return fabrics;
+}
+
+TopologySpec ResolveFabric(const std::optional<TopologySpec>& topology,
+                           int num_workers, CostModel cost_model) {
+  TopologySpec spec =
+      topology.value_or(TopologySpec::Flat(num_workers, cost_model));
+  if (spec.num_workers == 0) spec.num_workers = num_workers;
+  SPARDL_CHECK_EQ(spec.num_workers, num_workers)
+      << "topology spec and options disagree on the worker count";
+  return spec;
+}
+
+std::optional<TopologySpec> HarnessArgs::TopologyOr(
+    std::optional<TopologySpec> fallback, int workers,
+    CostModel cost) const {
+  std::optional<TopologySpec> spec = fallback;
+  if (topology.has_value()) {
+    auto parsed = TopologySpec::Parse(*topology, workers, cost);
+    // Build-validate too (grid/worker-count agreement, parameter ranges),
+    // so a parseable-but-invalid spec is a clean usage error instead of a
+    // CHECK abort mid-run.
+    if (parsed.ok()) {
+      if (auto built = (*parsed).Build(); !built.ok()) {
+        parsed = built.status();
+      }
+    }
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --topology: %s\n",
+                   parsed.status().ToString().c_str());
+      std::exit(2);
+    }
+    spec = *parsed;
+  }
+  if (engine.has_value()) {
+    if (!spec.has_value()) spec = TopologySpec::Flat(workers, cost);
+    spec->engine = *engine;
+  }
+  return spec;
 }
 
 PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
@@ -95,12 +193,8 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   config.num_teams = options.num_teams;
   config.residual_mode = ResidualMode::kNone;
 
-  TopologySpec spec = options.topology.value_or(
-      TopologySpec::Flat(options.num_workers, options.cost_model));
-  if (spec.num_workers == 0) spec.num_workers = options.num_workers;
-  SPARDL_CHECK_EQ(spec.num_workers, options.num_workers)
-      << "topology spec and options disagree on the worker count";
-  Cluster cluster(spec);
+  Cluster cluster(ResolveFabric(options.topology, options.num_workers,
+                                options.cost_model));
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {

@@ -19,23 +19,53 @@ namespace bench {
 ///
 ///   --workers=N / --workers N       cluster size override
 ///   --iterations=N / --iterations N measured iterations override
+///   --topology=SPEC                 fabric override ("fattree:4x8x2", ...)
+///   --engine=busy|event             charge engine override
 ///
-/// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` environment
-/// variables as defaults (flag > env > the bench's built-in value), so CI
-/// can run the expensive harnesses at smoke-tier sizes without editing
-/// code. Unknown `--` flags abort with a usage message; positional args
-/// are left for the bench to interpret.
+/// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` /
+/// `SPARDL_BENCH_TOPOLOGY` / `SPARDL_BENCH_ENGINE` environment variables
+/// as defaults (flag > env > the bench's built-in value), so CI can run
+/// the expensive harnesses at smoke-tier sizes — and on any fabric/engine
+/// — without editing code. Unknown `--` flags abort with a usage message;
+/// positional args are left for the bench to interpret.
 struct HarnessArgs {
   std::optional<int> workers;
   std::optional<int> iterations;
+  /// A `TopologySpec::Parse` string (may carry a "+event" suffix).
+  std::optional<std::string> topology;
+  std::optional<ChargeEngine> engine;
 
   int workers_or(int fallback) const { return workers.value_or(fallback); }
   int iterations_or(int fallback) const {
     return iterations.value_or(fallback);
   }
+
+  /// The fabric this run should use: `--topology` (parsed with `workers`
+  /// and `cost`) when given, else `fallback` (nullopt = the bench's
+  /// default, usually flat); `--engine` overrides the engine either way.
+  /// Parse errors abort with a usage message.
+  std::optional<TopologySpec> TopologyOr(
+      std::optional<TopologySpec> fallback, int workers,
+      CostModel cost = CostModel::Ethernet()) const;
 };
 
 HarnessArgs ParseHarnessArgs(int argc, char** argv);
+
+/// The default fabric sweep shared by `bench_ext_topology` and
+/// `examples/topology_explorer`: flat, star, two-rack fat-tree
+/// (single-core and 2-core ECMP), ring, and — for even P >= 4 — a
+/// (P/2) x 2 torus. One list so the two surfaces cannot drift.
+std::vector<TopologySpec> DefaultFabricSweep(
+    int num_workers, CostModel cost = CostModel::Ethernet());
+
+/// Resolves a run's fabric from an optional per-options override: falls
+/// back to the flat `cost_model` crossbar, fills a 0 worker count in the
+/// spec from `num_workers`, and CHECKs the two agree. Shared by
+/// `MeasurePerUpdate` and `RunTrainingCase` so the per-update benches and
+/// the convergence harnesses can never resolve a `TopologySpec`
+/// differently.
+TopologySpec ResolveFabric(const std::optional<TopologySpec>& topology,
+                           int num_workers, CostModel cost_model);
 
 /// Result of measuring one method's per-update communication on a
 /// paper-scale gradient profile.

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "baselines/registry.h"
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "dl/grad_profile.h"
@@ -25,12 +26,15 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
         {static_cast<int>(options.lr_drop_fraction * options.epochs), 0.1}};
   }
 
-  CostModel cost_model = options.cost_model;
+  TopologySpec fabric = ResolveFabric(options.topology, options.num_workers,
+                                      options.cost_model);
   if (options.paper_scale_network && !spec.paper_model.empty()) {
     const ModelProfile& profile = ProfileByModel(spec.paper_model);
     const size_t actual_n = spec.model_factory(config.model_seed)->num_params();
-    cost_model.beta *= static_cast<double>(profile.num_params) /
-                       static_cast<double>(actual_n);
+    // Rescale the fabric's per-hop budget, so non-flat topologies keep
+    // their relative trunk/access provisioning at paper scale.
+    fabric.cost.beta *= static_cast<double>(profile.num_params) /
+                        static_cast<double>(actual_n);
     config.compute_seconds_per_iteration = profile.compute_seconds;
   }
 
@@ -53,7 +57,7 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
     return std::move(*created);
   };
 
-  Cluster cluster(options.num_workers, cost_model);
+  Cluster cluster(fabric);
   const TrainResult result = TrainDistributed(
       cluster, *dataset, spec.model_factory, algorithm_factory, config);
   SPARDL_CHECK(result.replicas_consistent)

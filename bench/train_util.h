@@ -9,6 +9,7 @@
 #include "core/spardl.h"
 #include "dl/cases.h"
 #include "dl/trainer.h"
+#include "topo/topology_spec.h"
 
 namespace spardl {
 namespace bench {
@@ -31,6 +32,13 @@ struct TrainRunOptions {
   int epochs = 6;
   int iterations_per_epoch = 12;
   CostModel cost_model = CostModel::Ethernet();
+  /// When set, training runs on this fabric instead of the flat
+  /// `cost_model` crossbar — the same knob `PerUpdateOptions.topology`
+  /// gives the per-update benches. A `num_workers` of 0 in the spec
+  /// inherits `num_workers` above; otherwise the two must agree. The
+  /// spec's embedded cost is the per-hop alpha-beta budget (and is what
+  /// `paper_scale_network` rescales).
+  std::optional<TopologySpec> topology;
   /// LR-drop milestone as a fraction of total epochs (Fig. 17 uses the
   /// paper's epoch-80 drop); < 0 disables.
   double lr_drop_fraction = -1.0;

@@ -4,9 +4,14 @@
 // prints measured per-update costs next to the flat-model baseline.
 //
 //   $ ./build/examples/topology_explorer [topology] [P] [n] [k_ratio]
+//         [engine]
 //
-// `topology` is flat | star | ring | fattree | fattree:<rack>x<oversub>
-// (e.g. "fattree:4x8"), or "all" (default) to sweep every fabric.
+// `topology` is flat | star | ring | fattree |
+// fattree:<rack>x<oversub>[x<cores>] | torus:<w>x<h> (e.g. "fattree:4x8"
+// or the 2-core ECMP "fattree:4x8x2"), or "all" (default) to sweep every
+// fabric. Any spec takes a "+event" suffix, and `engine` (busy | event)
+// applies to the whole sweep — event is the simnet v3 deterministic
+// discrete-event engine.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,11 +29,8 @@ namespace {
 void ExploreOne(const TopologySpec& spec, size_t n, double k_ratio) {
   const ModelProfile profile = {"-", "synthetic", "-", n, 0.0};
   std::vector<std::pair<std::string, int>> methods = {
-      {"topka", 1}, {"oktopk", 1}, {"spardl", 1}};
+      {"topka", 1}, {"oktopk", 1}, {"gtopk", 1}, {"spardl", 1}};
   if (spec.num_workers % 2 == 0) methods.push_back({"spardl", 2});
-  if ((spec.num_workers & (spec.num_workers - 1)) == 0) {
-    methods.insert(methods.begin() + 2, {"gtopk", 1});
-  }
 
   TablePrinter table({"method", "comm/update", "words/update", "msgs"});
   for (const auto& [algo, teams] : methods) {
@@ -58,26 +60,51 @@ int main(int argc, char** argv) {
   const size_t n =
       argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 2'000'000;
   const double k_ratio = argc > 4 ? std::atof(argv[4]) : 0.01;
+  const std::string engine_arg = argc > 5 ? argv[5] : "";
+  ChargeEngine engine = ChargeEngine::kBusyUntil;
+  if (engine_arg == "event") {
+    engine = ChargeEngine::kEventOrdered;
+  } else if (!engine_arg.empty() && engine_arg != "busy") {
+    std::fprintf(stderr, "unknown engine '%s' (want busy|event)\n",
+                 engine_arg.c_str());
+    return 2;
+  }
 
+  const std::string engine_note =
+      engine_arg.empty() ? std::string("per-spec charge (default busy-until)")
+                         : std::string(ChargeEngineName(engine));
   std::printf(
       "Topology explorer: measured per-update costs on simulated fabrics\n"
-      "(P=%d, n=%zu, k/n=%g, Ethernet alpha-beta budget per hop)\n\n",
-      p, n, k_ratio);
+      "(P=%d, n=%zu, k/n=%g, Ethernet alpha-beta budget per hop, "
+      "%s engine)\n\n",
+      p, n, k_ratio, engine_note.c_str());
 
   std::vector<TopologySpec> specs;
   if (topology == "all") {
-    specs = {TopologySpec::Flat(p), TopologySpec::Star(p),
-             TopologySpec::FatTree(p, (p + 1) / 2, 4.0),
-             TopologySpec::Ring(p)};
+    specs = bench::DefaultFabricSweep(p);
   } else {
     auto parsed = TopologySpec::Parse(topology, p);
+    // Build-validate too (e.g. a torus grid that does not hold P
+    // workers), so a bad spec is a usage error, not a CHECK abort
+    // mid-run.
+    if (parsed.ok()) {
+      if (auto built = (*parsed).Build(); !built.ok()) {
+        parsed = built.status();
+      }
+    }
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return 2;
     }
     specs.push_back(*parsed);
   }
-  for (const TopologySpec& spec : specs) ExploreOne(spec, n, k_ratio);
+  for (TopologySpec& spec : specs) {
+    // An explicit positional engine overrides the whole sweep (either
+    // direction); otherwise any per-spec "+event"/"+busy" suffix (already
+    // folded into the parsed spec) stands.
+    if (!engine_arg.empty()) spec.engine = engine;
+    ExploreOne(spec, n, k_ratio);
+  }
 
   std::printf(
       "Reading: pick the method whose traffic shape matches your fabric — "

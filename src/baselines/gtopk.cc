@@ -3,58 +3,77 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/strings.h"
 
 namespace spardl {
 
 Result<std::unique_ptr<GTopk>> GTopk::Create(const BaselineConfig& config) {
   Status status = config.Validate();
   if (!status.ok()) return status;
-  if ((config.num_workers & (config.num_workers - 1)) != 0) {
-    return Status::InvalidArgument(
-        StrFormat("gTopk requires a power-of-two worker count; got %d",
-                  config.num_workers));
-  }
   return std::unique_ptr<GTopk>(new GTopk(config));
 }
 
 SparseVector GTopk::Core(Comm& comm, SparseVector local) {
   const int p = comm.size();
   const int rank = comm.rank();
+  // Largest power of two <= p; the tree runs over ranks [0, p2).
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  const int rem = p - p2;
   SparseVector scratch;
   SparseVector kept;
   SparseVector discarded;
 
-  // Reduction tree: at level `distance`, ranks that are odd multiples of
-  // `distance` push their running top-k to the even multiple below them.
-  for (int distance = 1; distance < p; distance *= 2) {
-    const int span = 2 * distance;
-    if (rank % span == distance) {
-      comm.Send(rank - distance, Payload(std::move(local)));
-      local.Clear();
-      break;  // inactive until the broadcast reaches this rank
+  const auto merge_and_reselect = [&](SparseVector incoming) {
+    MergeSumInPlace(&local, incoming, &scratch);
+    // Re-select top-k: the gTopk SGA fix. Merged supports come from
+    // disjoint worker sets, so discards are credited at full weight.
+    if (local.size() > config_.k) {
+      selector_.SelectSparse(local, config_.k, &kept, &discarded);
+      residuals_.AddCommDiscard(discarded, 1.0f);
+      std::swap(local, kept);
     }
-    if (rank % span == 0) {
-      SparseVector incoming = comm.RecvAs<SparseVector>(rank + distance);
-      MergeSumInPlace(&local, incoming, &scratch);
-      // Re-select top-k: the gTopk SGA fix. Subtree supports are disjoint
-      // across mergers, so discards are credited at full weight.
-      if (local.size() > config_.k) {
-        selector_.SelectSparse(local, config_.k, &kept, &discarded);
-        residuals_.AddCommDiscard(discarded, 1.0f);
-        std::swap(local, kept);
+  };
+
+  // Non-power-of-two fold: extras push their running top-k into the tree's
+  // base before it starts.
+  if (rank >= p2) {
+    comm.Send(rank - p2, Payload(std::move(local)));
+    local.Clear();
+  } else if (rank < rem) {
+    merge_and_reselect(comm.RecvAs<SparseVector>(rank + p2));
+  }
+
+  if (rank < p2) {
+    // Reduction tree: at level `distance`, ranks that are odd multiples of
+    // `distance` push their running top-k to the even multiple below them.
+    for (int distance = 1; distance < p2; distance *= 2) {
+      const int span = 2 * distance;
+      if (rank % span == distance) {
+        comm.Send(rank - distance, Payload(std::move(local)));
+        local.Clear();
+        break;  // inactive until the broadcast reaches this rank
+      }
+      if (rank % span == 0) {
+        merge_and_reselect(comm.RecvAs<SparseVector>(rank + distance));
+      }
+    }
+
+    // Broadcast tree: the root's global top-k flows back down.
+    for (int distance = p2 / 2; distance >= 1; distance /= 2) {
+      const int span = 2 * distance;
+      if (rank % span == 0) {
+        comm.Send(rank + distance, Payload(local));
+      } else if (rank % span == distance) {
+        local = comm.RecvAs<SparseVector>(rank - distance);
       }
     }
   }
 
-  // Broadcast tree: the root's global top-k flows back down.
-  for (int distance = p / 2; distance >= 1; distance /= 2) {
-    const int span = 2 * distance;
-    if (rank % span == 0) {
-      comm.Send(rank + distance, Payload(local));
-    } else if (rank % span == distance) {
-      local = comm.RecvAs<SparseVector>(rank - distance);
-    }
+  // Unfold: the folded extras get the global result from their partners.
+  if (rank < rem) {
+    comm.Send(rank + p2, Payload(local));
+  } else if (rank >= p2) {
+    local = comm.RecvAs<SparseVector>(rank - p2);
   }
   return local;
 }

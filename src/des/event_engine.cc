@@ -1,0 +1,142 @@
+#include "des/event_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace spardl {
+
+EventEngine::EventEngine(const Topology& topology) : topology_(topology) {
+  links_.resize(static_cast<size_t>(topology.num_links()));
+  const size_t p = static_cast<size_t>(topology.num_workers());
+  pair_seq_.assign(p * p, 0);
+}
+
+void EventEngine::WorkerEnter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_;
+}
+
+void EventEngine::WorkerExit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  SPARDL_DCHECK(active_ >= 0);
+  // One fewer runnable thread may make the remaining sleepers quiescent;
+  // wake one so it re-evaluates the pump condition.
+  cv_.notify_all();
+}
+
+uint64_t EventEngine::InjectFlowLocked(int src, int dst, size_t words,
+                                       double sent_at) {
+  const int p = topology_.num_workers();
+  SPARDL_DCHECK(src >= 0 && src < p);
+  SPARDL_DCHECK(dst >= 0 && dst < p);
+  const size_t pair = static_cast<size_t>(src) * static_cast<size_t>(p) +
+                      static_cast<size_t>(dst);
+  const uint64_t key = (static_cast<uint64_t>(pair) << 32) | pair_seq_[pair];
+  ++pair_seq_[pair];
+
+  Flow flow;
+  flow.words = words;
+  topology_.Route(src, dst, &flow.path);
+  SPARDL_DCHECK(!flow.path.empty()) << "empty route " << src << "->" << dst;
+  flows_.emplace(key, std::move(flow));
+  queue_.Push(sent_at, key);
+  return key;
+}
+
+double EventEngine::TakeArrivalLocked(uint64_t flow) {
+  auto it = resolved_.find(flow);
+  SPARDL_CHECK(it != resolved_.end()) << "unresolved flow consumed";
+  const double arrival = it->second;
+  resolved_.erase(it);
+  return arrival;
+}
+
+bool EventEngine::AnySleeperReadyLocked() const {
+  for (const Sleeper& sleeper : sleepers_) {
+    if ((*sleeper.pred)()) return true;
+  }
+  return false;
+}
+
+uint64_t EventEngine::PumpOneLocked() {
+  const EventQueue::Event event = queue_.PopEarliest();
+  auto it = flows_.find(event.flow);
+  SPARDL_DCHECK(it != flows_.end());
+  Flow& flow = it->second;
+
+  const LinkId id = flow.path[static_cast<size_t>(flow.hop)];
+  // link_info folds SetNodeScale into alpha/beta, exactly like the
+  // busy-until engine's per-hop loop.
+  const LinkInfo link = topology_.link_info(id);
+  const double serialize = link.beta * static_cast<double>(flow.words);
+  const double head_out =
+      links_[static_cast<size_t>(id)].Serve(event.time, link.alpha, serialize);
+  flow.bottleneck = std::max(flow.bottleneck, serialize);
+  ++flow.hop;
+  if (flow.hop < static_cast<int>(flow.path.size())) {
+    queue_.Push(head_out, event.flow);
+    return 0;
+  }
+  // Final hop: the body trails the header by the bottleneck serialization.
+  resolved_.emplace(event.flow, head_out + flow.bottleneck);
+  flows_.erase(it);
+  return event.flow;
+}
+
+void EventEngine::BlockUntil(std::unique_lock<std::mutex>& lock,
+                             const std::function<bool()>& pred,
+                             double timeout_seconds,
+                             const std::function<std::string()>& describe) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  ++blocked_;
+  while (!pred()) {
+    // Quiescent cut: every registered worker is blocked (this thread
+    // included) and no sleeper could make progress if it held the lock, so
+    // the pending flow set is scheduling-independent and the earliest
+    // event is safe to process. The sleeper check also pauses pumping the
+    // moment a resolution releases someone: that worker must consume its
+    // arrival and run — possibly injecting earlier-keyed flows — before
+    // later events are touched.
+    if (blocked_ >= active_ && !queue_.Empty() && !AnySleeperReadyLocked()) {
+      const uint64_t resolved = PumpOneLocked();
+      if (resolved != 0 && AnySleeperReadyLocked()) {
+        // Hand the arrival over to the released sleeper and park.
+        cv_.notify_all();
+      } else {
+        // Mid-path hop, or a resolution whose receiver has not asked yet —
+        // keep pumping (after letting our own predicate notice it).
+        continue;
+      }
+    }
+    const auto me = sleepers_.insert(sleepers_.end(), Sleeper{&pred});
+    const bool timed_out =
+        cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+    sleepers_.erase(me);
+    SPARDL_CHECK(!timed_out)
+        << describe() << " timed out after " << timeout_seconds
+        << "s of wall time — collective deadlock?";
+  }
+  --blocked_;
+}
+
+void EventEngine::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // resolved_ must drain too: a pre-reset arrival silently applied to
+  // post-reset clocks would be a far worse bug than this abort.
+  SPARDL_CHECK(flows_.empty() && queue_.Empty() && resolved_.empty())
+      << "event engine reset with flows in flight or unconsumed arrivals";
+  for (LinkServer& link : links_) link.Reset();
+}
+
+bool EventEngine::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_.empty() && queue_.Empty() && resolved_.empty();
+}
+
+}  // namespace spardl

@@ -1,0 +1,207 @@
+#ifndef SPARDL_DES_EVENT_ENGINE_H_
+#define SPARDL_DES_EVENT_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace spardl {
+
+/// A message in flight through the event engine, identified by a
+/// deterministic key (see `EventEngine::InjectFlowLocked`). One flow has at
+/// most one pending event: the arrival of its header at `path[hop]`.
+struct Flow {
+  std::vector<LinkId> path;
+  size_t words = 0;
+  int hop = 0;
+  /// Max serialization time over the hops crossed so far (cut-through: the
+  /// body is serialized once, at the bottleneck link).
+  double bottleneck = 0.0;
+};
+
+/// Min-heap of per-hop transmission events, ordered by `(time, flow key)`.
+///
+/// The flow key embeds `(src, dst, per-pair sequence)` in that
+/// significance order, so ties at equal simulated time break by sender
+/// rank, then receiver rank, then the sender's own (deterministic) send
+/// order — never by wall-clock arrival or thread interleaving.
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    uint64_t flow;
+  };
+
+  void Push(double time, uint64_t flow) { heap_.push(Event{time, flow}); }
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Removes and returns the earliest event. Undefined when empty.
+  Event PopEarliest() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.flow > b.flow;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+/// Per-link transmission server: owns the link's busy-until clock and
+/// applies the cut-through hop arithmetic (identical to the busy-until
+/// engine's `Topology::ChargeMessage` inner loop, so the two engines agree
+/// exactly whenever they see the same per-link event order).
+class LinkServer {
+ public:
+  /// Serves one header arriving at `head_in`: the header leaves at
+  /// `max(head_in, busy_until) + alpha` and the link stays occupied until
+  /// the whole body (serialization `serialize`) has crossed. Returns the
+  /// header's departure time.
+  double Serve(double head_in, double alpha, double serialize) {
+    const double start = head_in > busy_until_ ? head_in : busy_until_;
+    const double head_out = start + alpha;
+    busy_until_ = head_out + serialize;
+    return head_out;
+  }
+
+  double busy_until() const { return busy_until_; }
+  void Reset() { busy_until_ = 0.0; }
+
+ private:
+  double busy_until_ = 0.0;
+};
+
+/// The simnet v3 deterministic discrete-event engine.
+///
+/// Motivation: the busy-until engine charges a flow's whole route when its
+/// *receiver* executes `Recv`, so two flows contending for a link queue in
+/// whatever wall-clock order the receiving threads ran — contended times
+/// shift run to run. This engine instead injects a flow when its *sender*
+/// posts it (link occupancy was already anchored at logical send times, so
+/// no receiver-side information is needed) and processes per-hop
+/// transmission events in `(time, flow key)` order from a global
+/// `EventQueue`.
+///
+/// Conservative processing: worker threads run freely between blocking
+/// points; the queue is pumped only at *quiescent cuts* — every registered
+/// worker is blocked AND no sleeping worker's wake predicate currently
+/// holds. At such a cut the injected flow set is a pure function of the
+/// SPMD program, not of thread scheduling, and any flow a blocked worker
+/// can inject after being released carries a send time no earlier than the
+/// arrival that released it, which is itself no earlier than the earliest
+/// pending event — so consuming events in `(time, key)` order is safe.
+/// Pumping pauses the moment a resolution makes some sleeper's predicate
+/// true (the released worker may inject new, earlier-keyed flows that must
+/// precede later queue entries). Which thread pumps depends on
+/// scheduling; the event order does not.
+///
+/// Locking: one engine mutex guards everything — flows, links, queue,
+/// sleeper registry, and (via `mu()`) the `Network` state that must change
+/// atomically with them in event mode (mailboxes, barrier, clock sync).
+/// All waits go through `BlockUntil`, so the last runnable thread always
+/// pumps instead of sleeping and the queue can never be starved by
+/// sleepers.
+class EventEngine {
+ public:
+  /// `topology` must outlive the engine; link parameters (including
+  /// `SetNodeScale` scaling) are read through it at serve time.
+  explicit EventEngine(const Topology& topology);
+
+  EventEngine(const EventEngine&) = delete;
+  EventEngine& operator=(const EventEngine&) = delete;
+
+  /// The engine mutex. `Network` holds it (via `std::unique_lock`) across
+  /// every event-mode mailbox/barrier/sync operation.
+  std::mutex& mu() { return mu_; }
+
+  /// Worker-thread registration (from `Cluster::Run`): `BlockUntil` pumps
+  /// only when all registered workers are blocked. With no registrations
+  /// (single-threaded use), every blocking wait pumps immediately.
+  void WorkerEnter();
+  void WorkerExit();
+
+  /// Injects a `words`-word flow from `src` to `dst` at simulated time
+  /// `sent_at` and returns its deterministic key: `(src*P + dst) << 32 |
+  /// per-pair sequence`. Caller holds `mu()`. Key 0 is never returned
+  /// (the self-pair (0, 0) cannot send).
+  uint64_t InjectFlowLocked(int src, int dst, size_t words, double sent_at);
+
+  /// True once `flow`'s arrival time has been computed. Caller holds
+  /// `mu()`.
+  bool ResolvedLocked(uint64_t flow) const {
+    return resolved_.count(flow) != 0;
+  }
+
+  /// Consumes and returns `flow`'s arrival time; CHECK-fails unless
+  /// resolved. Caller holds `mu()`.
+  double TakeArrivalLocked(uint64_t flow);
+
+  /// Blocks until `pred()` holds, pumping the event queue at quiescent
+  /// cuts. `pred` is evaluated only under `mu()` — by this thread, and by
+  /// whichever thread is deciding whether pumping may proceed — so it must
+  /// be a pure function of engine/network state guarded by `mu()`. Aborts
+  /// after `timeout_seconds` of wall time (a hung collective is always a
+  /// bug); `describe` is invoked only then, so callers can defer
+  /// diagnostic formatting off the per-message hot path. Caller holds
+  /// `mu()` via `lock`.
+  void BlockUntil(std::unique_lock<std::mutex>& lock,
+                  const std::function<bool()>& pred, double timeout_seconds,
+                  const std::function<std::string()>& describe);
+
+  /// Wakes every blocked thread (after posting a packet, releasing a
+  /// barrier, ...). Caller holds `mu()`.
+  void NotifyAllLocked() { cv_.notify_all(); }
+
+  /// Clears per-link busy clocks between measured phases; CHECK-fails if
+  /// flows are still in flight (reset mid-collective is a bug).
+  void Reset();
+
+  /// True when no flow is in flight or awaiting consumption (end-of-run
+  /// invariant, checked by `Cluster::Run`).
+  bool Idle() const;
+
+ private:
+  struct Sleeper {
+    const std::function<bool()>* pred;
+  };
+
+  /// Processes the earliest event: serves one hop, schedules the next, and
+  /// on the final hop records the flow's arrival. Returns the resolved
+  /// flow key, or 0 for a mid-path hop. Caller holds `mu()`.
+  uint64_t PumpOneLocked();
+
+  /// True when some sleeping thread's predicate already holds — it must
+  /// wake and run before any further event is processed.
+  bool AnySleeperReadyLocked() const;
+
+  const Topology& topology_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  int active_ = 0;   // registered worker threads
+  int blocked_ = 0;  // threads currently inside BlockUntil
+
+  EventQueue queue_;
+  std::vector<LinkServer> links_;                  // by LinkId
+  std::vector<uint32_t> pair_seq_;                 // per (src, dst) pair
+  std::unordered_map<uint64_t, Flow> flows_;       // in flight
+  std::unordered_map<uint64_t, double> resolved_;  // arrival times
+  std::list<Sleeper> sleepers_;                    // threads in cv_.wait
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_DES_EVENT_ENGINE_H_

@@ -31,12 +31,27 @@ Cluster::~Cluster() = default;
 void Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
   std::vector<std::thread> threads;
   threads.reserve(comms_.size());
+  Network* network = network_.get();
+  // Register every worker with the event engine's quiescence detection
+  // (no-op on the busy-until engine) BEFORE any thread starts: if the
+  // engine only learned about workers as their threads got scheduled, the
+  // already-started ones could look quiescent and pump contended events
+  // ahead of a not-yet-registered worker's earlier-keyed flows — exactly
+  // the startup-timing dependence the engine exists to eliminate.
+  for (size_t i = 0; i < comms_.size(); ++i) network->WorkerEnter();
   for (auto& comm : comms_) {
-    threads.emplace_back([&worker_fn, &comm] { worker_fn(*comm); });
+    threads.emplace_back([&worker_fn, &comm, network] {
+      worker_fn(*comm);
+      // A worker that returns must deregister, or the remaining workers
+      // could never all be "blocked".
+      network->WorkerExit();
+    });
   }
   for (auto& t : threads) t.join();
   SPARDL_CHECK(network_->AllMailboxesEmpty())
       << "worker function left unconsumed messages in the network";
+  SPARDL_CHECK(network_->SimIdle())
+      << "worker function left unresolved flows in the event engine";
 }
 
 double Cluster::MaxSimSeconds() const {
@@ -74,9 +89,10 @@ void Cluster::ResetClocksAndStats() {
     comm->ResetClock();
     comm->stats().Reset();
   }
-  // Link busy clocks must rewind with the worker clocks, or leftover
-  // warm-up occupancy would delay post-reset flows.
-  network_->topology().ResetLinkClocks();
+  // Link busy clocks (on either charging engine) must rewind with the
+  // worker clocks, or leftover warm-up occupancy would delay post-reset
+  // flows.
+  network_->ResetSimState();
 }
 
 }  // namespace spardl

@@ -67,18 +67,18 @@ class Comm {
   /// Blocks until a message with `tag` arrives from `src`; advances the
   /// clock per the network's topology cost model and returns the payload.
   /// On the default flat fabric this is exactly the legacy α-β charge;
-  /// other topologies add per-hop latency and shared-link queueing.
+  /// other topologies add per-hop latency and shared-link queueing,
+  /// accounted by whichever `ChargeEngine` the topology selected.
   Payload Recv(int src, int tag = 0) {
     SPARDL_DCHECK(src != rank_) << "self-recv";
-    Packet packet = network_->Take(src, rank_, tag);
+    Network::Delivered delivered =
+        network_->RecvPacket(src, rank_, tag, sim_now_);
     const double before = sim_now_;
-    sim_now_ =
-        network_->DeliverTime(src, rank_, packet.words, packet.sent_at,
-                              sim_now_);
+    sim_now_ = delivered.delivery_time;
     stats_.messages_received += 1;
-    stats_.words_received += packet.words;
+    stats_.words_received += delivered.packet.words;
     stats_.comm_seconds += sim_now_ - before;
-    return std::move(packet.payload);
+    return std::move(delivered.packet.payload);
   }
 
   /// Typed receive; CHECK-fails if the payload holds a different type.

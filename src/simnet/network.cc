@@ -1,9 +1,11 @@
 #include "simnet/network.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "topo/topologies.h"
 
 namespace spardl {
@@ -32,6 +34,12 @@ Network::Network(int size, CostModel cost_model)
 Network::Network(std::unique_ptr<Topology> topology)
     : topology_(std::move(topology)), size_(topology_->num_workers()) {
   SPARDL_CHECK_GE(size_, 1);
+  // Closed-form fabrics (flat) have no link state to order, so both
+  // engines charge them identically at Recv time — no event engine.
+  if (topology_->charge_engine() == ChargeEngine::kEventOrdered &&
+      !topology_->closed_form_charge()) {
+    engine_ = std::make_unique<EventEngine>(*topology_);
+  }
   mailboxes_.resize(static_cast<size_t>(size_) * static_cast<size_t>(size_));
   for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
 }
@@ -46,6 +54,17 @@ void Network::Post(int src, int dst, Packet packet) {
   SPARDL_DCHECK(src >= 0 && src < size_);
   SPARDL_DCHECK(dst >= 0 && dst < size_);
   Mailbox& box = BoxFor(src, dst);
+  if (engine_) {
+    // Inject the flow at *send* time: its route and logical injection time
+    // are fully known here, and charging from the sender side is what
+    // frees the engine from receiver-thread ordering.
+    std::unique_lock<std::mutex> lock(engine_->mu());
+    packet.flow =
+        engine_->InjectFlowLocked(src, dst, packet.words, packet.sent_at);
+    box.queue.push_back(std::move(packet));
+    engine_->NotifyAllLocked();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.queue.push_back(std::move(packet));
@@ -53,7 +72,49 @@ void Network::Post(int src, int dst, Packet packet) {
   box.cv.notify_all();
 }
 
+Network::Delivered Network::RecvPacket(int src, int dst, int tag,
+                                       double receiver_now) {
+  if (engine_) {
+    Mailbox& box = BoxFor(src, dst);
+    const auto find_tag = [&box, tag] {
+      auto it = box.queue.begin();
+      while (it != box.queue.end() && it->tag != tag) ++it;
+      return it;
+    };
+    std::unique_lock<std::mutex> lock(engine_->mu());
+    engine_->BlockUntil(
+        lock,
+        [&] {
+          const auto it = find_tag();
+          return it != box.queue.end() && engine_->ResolvedLocked(it->flow);
+        },
+        recv_timeout_seconds_, [&] {
+          return StrFormat("Recv dst=%d src=%d tag=%d (event engine)", dst,
+                           src, tag);
+        });
+    const auto it = find_tag();
+    Delivered delivered{std::move(*it), 0.0};
+    box.queue.erase(it);
+    const double arrival =
+        engine_->TakeArrivalLocked(delivered.packet.flow);
+    // Traversal overlaps receiver compute; consumption waits for whichever
+    // finishes last (same rule as the busy-until engine).
+    delivered.delivery_time = std::max(receiver_now, arrival);
+    return delivered;
+  }
+  Delivered delivered{Take(src, dst, tag), 0.0};
+  delivered.delivery_time =
+      topology_->ChargeMessage(src, dst, delivered.packet.words,
+                               delivered.packet.sent_at, receiver_now);
+  return delivered;
+}
+
 Packet Network::Take(int src, int dst, int tag) {
+  // Event-mode mailboxes are guarded by the engine mutex and never signal
+  // box.cv — a raw Take there would race and hang. Fail loudly instead.
+  SPARDL_CHECK(engine_ == nullptr)
+      << "Take() bypasses the event engine; use RecvPacket on "
+         "event-ordered fabrics";
   Mailbox& box = BoxFor(src, dst);
   std::unique_lock<std::mutex> lock(box.mutex);
   const auto deadline =
@@ -76,11 +137,31 @@ Packet Network::Take(int src, int dst, int tag) {
 }
 
 void Network::BarrierWait() {
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
-  const uint64_t my_generation = barrier_generation_;
-  if (++barrier_waiting_ == size_) {
+  // One state machine for both engines; only the mutex/wait primitive
+  // differs (barrier waiters must count as blocked for the event engine's
+  // quiescence detection, so its wait routes through BlockUntil).
+  const auto arrive = [&]() -> bool {
+    if (++barrier_waiting_ < size_) return false;
     barrier_waiting_ = 0;
     ++barrier_generation_;
+    return true;  // last arriver releases everyone
+  };
+  if (engine_) {
+    std::unique_lock<std::mutex> lock(engine_->mu());
+    const uint64_t my_generation = barrier_generation_;
+    if (arrive()) {
+      engine_->NotifyAllLocked();
+      return;
+    }
+    engine_->BlockUntil(
+        lock, [&] { return barrier_generation_ != my_generation; },
+        recv_timeout_seconds_,
+        [] { return std::string("BarrierWait (event engine)"); });
+    return;
+  }
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const uint64_t my_generation = barrier_generation_;
+  if (arrive()) {
     barrier_cv_.notify_all();
     return;
   }
@@ -89,14 +170,32 @@ void Network::BarrierWait() {
 
 double Network::MaxClockSync(int rank, double value) {
   (void)rank;
-  std::unique_lock<std::mutex> lock(sync_mutex_);
-  const uint64_t my_generation = sync_generation_;
-  if (value > sync_max_) sync_max_ = value;
-  if (++sync_count_ == size_) {
+  // Shared fold/latch state machine, same split as BarrierWait.
+  const auto publish = [&]() -> bool {
+    if (value > sync_max_) sync_max_ = value;
+    if (++sync_count_ < size_) return false;
     sync_result_ = sync_max_;
     sync_max_ = 0.0;
     sync_count_ = 0;
     ++sync_generation_;
+    return true;  // last publisher latches the max
+  };
+  if (engine_) {
+    std::unique_lock<std::mutex> lock(engine_->mu());
+    const uint64_t my_generation = sync_generation_;
+    if (publish()) {
+      engine_->NotifyAllLocked();
+      return sync_result_;
+    }
+    engine_->BlockUntil(
+        lock, [&] { return sync_generation_ != my_generation; },
+        recv_timeout_seconds_,
+        [] { return std::string("MaxClockSync (event engine)"); });
+    return sync_result_;
+  }
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  const uint64_t my_generation = sync_generation_;
+  if (publish()) {
     sync_cv_.notify_all();
     return sync_result_;
   }
@@ -105,11 +204,25 @@ double Network::MaxClockSync(int rank, double value) {
 }
 
 bool Network::AllMailboxesEmpty() const {
+  if (engine_) {
+    std::lock_guard<std::mutex> lock(engine_->mu());
+    for (const auto& box : mailboxes_) {
+      if (!box->queue.empty()) return false;
+    }
+    return true;
+  }
   for (const auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mutex);
     if (!box->queue.empty()) return false;
   }
   return true;
+}
+
+void Network::ResetSimState() {
+  // Link busy clocks must rewind with the worker clocks, or leftover
+  // warm-up occupancy would delay post-reset flows.
+  topology_->ResetLinkClocks();
+  if (engine_) engine_->Reset();
 }
 
 }  // namespace spardl

@@ -9,6 +9,7 @@
 #include <variant>
 #include <vector>
 
+#include "des/event_engine.h"
 #include "simnet/cost_model.h"
 #include "sparse/sparse_vector.h"
 #include "topo/topology.h"
@@ -35,6 +36,9 @@ struct Packet {
   /// Sender's simulated clock when the send was issued.
   double sent_at = 0.0;
   int tag = 0;
+  /// Event-ordered engine only: the flow key assigned at `Post` time
+  /// (0 on the busy-until engine, where charging happens at `Recv`).
+  uint64_t flow = 0;
 };
 
 /// The in-process interconnect: one FIFO mailbox per (src, dst) pair.
@@ -43,6 +47,16 @@ struct Packet {
 /// Blocking receives time out after `recv_timeout_seconds` of *wall* time
 /// and abort the process — a hung collective is always a bug, and a loud
 /// failure beats a silent deadlock in CI.
+///
+/// Charging engines: when the topology selects
+/// `ChargeEngine::kEventOrdered` (and is not a closed-form fabric like
+/// `FlatTopology`), the network runs a `des::`-style `EventEngine` — flows
+/// are injected at `Post` time, per-hop events are processed in
+/// `(time, flow key)` order, and every blocking operation (receive,
+/// barrier, clock sync) routes through the engine's single mutex so the
+/// last runnable thread pumps the queue. Otherwise the legacy busy-until
+/// engine charges each message inside `Recv` via
+/// `Topology::ChargeMessage`.
 class Network {
  public:
   /// Flat crossbar shorthand: the paper's alpha-beta model.
@@ -76,20 +90,50 @@ class Network {
   void SetWorkerSlowdown(int rank, double factor);
   double WorkerSlowdown(int rank) const { return topology_->NodeScale(rank); }
 
-  /// Delivery time at `dst` of a `words`-word message injected at `src`
-  /// at simulated time `sent_at`, consumed by a receiver whose clock reads
-  /// `receiver_now`; advances the fabric's link clocks.
-  double DeliverTime(int src, int dst, size_t words, double sent_at,
-                     double receiver_now) {
-    return topology_->ChargeMessage(src, dst, words, sent_at, receiver_now);
-  }
+  /// True when the event-ordered engine is charging this fabric.
+  bool event_ordered() const { return engine_ != nullptr; }
 
-  /// Deposits a packet into the (src, dst) mailbox.
+  /// Deposits a packet into the (src, dst) mailbox. On the event-ordered
+  /// engine this also injects the packet's flow into the event queue.
   void Post(int src, int dst, Packet packet);
 
+  /// A received packet plus the receiver's advanced clock.
+  struct Delivered {
+    Packet packet;
+    double delivery_time = 0.0;
+  };
+
+  /// Blocks until a packet with `tag` from `src` to `dst` is available
+  /// (and, on the event engine, until its arrival time is resolved),
+  /// removes it and returns it with its delivery time at a receiver whose
+  /// clock reads `receiver_now`. Packets with the same tag are delivered
+  /// FIFO. This is the one receive path both charging engines share.
+  Delivered RecvPacket(int src, int dst, int tag, double receiver_now);
+
   /// Blocks until a packet with `tag` from `src` to `dst` is available and
-  /// removes it. Packets with the same tag are delivered FIFO.
+  /// removes it. Packets with the same tag are delivered FIFO. Busy-until
+  /// engine only — `RecvPacket` is the engine-agnostic path.
   Packet Take(int src, int dst, int tag);
+
+  /// Worker-thread registration for the event engine's quiescence
+  /// detection (no-ops on the busy-until engine). `Cluster::Run` enters
+  /// every worker before spawning any thread — registration must not
+  /// race with pump eligibility — and each worker exits as its function
+  /// returns.
+  void WorkerEnter() {
+    if (engine_) engine_->WorkerEnter();
+  }
+  void WorkerExit() {
+    if (engine_) engine_->WorkerExit();
+  }
+
+  /// Rewinds all fabric accounting state (per-link busy clocks on either
+  /// engine) between measured phases; worker clocks rewind separately.
+  void ResetSimState();
+
+  /// True when no flow is in flight or awaiting consumption (end-of-run
+  /// invariant; trivially true on the busy-until engine).
+  bool SimIdle() const { return engine_ == nullptr || engine_->Idle(); }
 
   /// Reusable rendezvous for all `size` workers. `slot` lets callers use
   /// the two-phase max-clock sync without races.
@@ -119,6 +163,11 @@ class Network {
   }
 
   std::unique_ptr<Topology> topology_;
+  /// Non-null when the topology selects the event-ordered engine. In that
+  /// mode the engine's mutex guards the mailboxes and the barrier/sync
+  /// state below; the per-mailbox mutexes and `barrier_mutex_`/`sync_mutex_`
+  /// go unused.
+  std::unique_ptr<EventEngine> engine_;
   int size_;
   double recv_timeout_seconds_ = 120.0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -1,5 +1,7 @@
 #include "topo/topologies.h"
 
+#include <cstdint>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -62,17 +64,20 @@ void StarTopology::Route(int src, int dst,
 }
 
 FatTreeTopology::FatTreeTopology(int num_workers, int rack_size,
-                                 double oversubscription, CostModel cost)
+                                 double oversubscription, CostModel cost,
+                                 int num_cores)
     : Topology(num_workers, cost),
       rack_size_(rack_size),
+      num_cores_(num_cores),
       oversubscription_(oversubscription) {
   // Validate before the rack division: rack_size = 0 must hit the CHECK,
   // not a division by zero in an initializer.
   SPARDL_CHECK_GE(rack_size, 1);
+  SPARDL_CHECK_GE(num_cores, 1);
   SPARDL_CHECK_GT(oversubscription, 0.0);
   num_racks_ = (num_workers + rack_size - 1) / rack_size;
-  const int kTorBase = num_workers;          // ToR r has id P + r
-  const int kCore = num_workers + num_racks_;
+  const int kTorBase = num_workers;  // ToR r has id P + r
+  const int kCoreBase = num_workers + num_racks_;  // core c has id after ToRs
   for (int w = 0; w < num_workers; ++w) {
     const int tor = kTorBase + RackOf(w);
     up_.push_back(AddLink(w, tor, cost.alpha / 2.0, cost.beta));
@@ -80,16 +85,40 @@ FatTreeTopology::FatTreeTopology(int num_workers, int rack_size,
     RegisterIngress(w, down_.back());
   }
   for (int r = 0; r < num_racks_; ++r) {
-    trunk_up_.push_back(AddLink(kTorBase + r, kCore, cost.alpha / 2.0,
-                                cost.beta * oversubscription_));
-    trunk_down_.push_back(AddLink(kCore, kTorBase + r, cost.alpha / 2.0,
+    for (int c = 0; c < num_cores_; ++c) {
+      trunk_up_.push_back(AddLink(kTorBase + r, kCoreBase + c,
+                                  cost.alpha / 2.0,
                                   cost.beta * oversubscription_));
+      trunk_down_.push_back(AddLink(kCoreBase + c, kTorBase + r,
+                                    cost.alpha / 2.0,
+                                    cost.beta * oversubscription_));
+    }
   }
 }
 
+std::string FatTreeTopology::DescribeSpec(int num_workers, int rack_size,
+                                          double oversubscription,
+                                          int num_cores) {
+  if (num_cores > 1) {
+    return StrFormat("fattree(P=%d, racks of %d, oversub %.1f, %d cores)",
+                     num_workers, rack_size, oversubscription, num_cores);
+  }
+  return StrFormat("fattree(P=%d, racks of %d, oversub %.1f)", num_workers,
+                   rack_size, oversubscription);
+}
+
 std::string FatTreeTopology::Describe() const {
-  return StrFormat("fattree(P=%d, racks of %d, oversub %.1f)",
-                   num_workers(), rack_size_, oversubscription_);
+  return DescribeSpec(num_workers(), rack_size_, oversubscription_,
+                      num_cores_);
+}
+
+int FatTreeTopology::CoreFor(int src, int dst) const {
+  // Fibonacci-style mixing so adjacent rank pairs do not all land on the
+  // same core; any fixed hash works, it just has to be a pure function of
+  // the pair.
+  const uint64_t mix = static_cast<uint64_t>(src) * 0x9E3779B97F4A7C15ull +
+                       static_cast<uint64_t>(dst) * 0xC2B2AE3D27D4EB4Full;
+  return static_cast<int>((mix >> 32) % static_cast<uint64_t>(num_cores_));
 }
 
 void FatTreeTopology::Route(int src, int dst,
@@ -99,8 +128,13 @@ void FatTreeTopology::Route(int src, int dst,
   const int src_rack = RackOf(src);
   const int dst_rack = RackOf(dst);
   if (src_rack != dst_rack) {
-    path->push_back(trunk_up_[static_cast<size_t>(src_rack)]);
-    path->push_back(trunk_down_[static_cast<size_t>(dst_rack)]);
+    const size_t core = static_cast<size_t>(CoreFor(src, dst));
+    path->push_back(
+        trunk_up_[static_cast<size_t>(src_rack) *
+                      static_cast<size_t>(num_cores_) + core]);
+    path->push_back(
+        trunk_down_[static_cast<size_t>(dst_rack) *
+                        static_cast<size_t>(num_cores_) + core]);
   }
   path->push_back(down_[static_cast<size_t>(dst)]);
 }
@@ -137,6 +171,82 @@ void RingTopology::Route(int src, int dst,
       path->push_back(prev_[static_cast<size_t>(w)]);
     }
   }
+}
+
+TorusTopology::TorusTopology(int width, int height, CostModel cost)
+    : Topology(width * height, cost), width_(width), height_(height) {
+  SPARDL_CHECK_GE(width, 1);
+  SPARDL_CHECK_GE(height, 1);
+  const size_t p = static_cast<size_t>(num_workers());
+  // Same cabling rules as RingTopology, applied per row and per column: a
+  // dimension of 2 needs only the positive cable (the negative one would
+  // duplicate it), a dimension of 1 needs none.
+  if (width_ >= 2) x_next_.resize(p);
+  if (width_ >= 3) x_prev_.resize(p);
+  if (height_ >= 2) y_next_.resize(p);
+  if (height_ >= 3) y_prev_.resize(p);
+  for (int w = 0; w < num_workers(); ++w) {
+    const int x = XOf(w);
+    const int y = YOf(w);
+    if (width_ >= 2) {
+      const int to = WorkerAt((x + 1) % width_, y);
+      x_next_[static_cast<size_t>(w)] = AddLink(w, to, cost.alpha, cost.beta);
+      RegisterIngress(to, x_next_[static_cast<size_t>(w)]);
+    }
+    if (width_ >= 3) {
+      const int to = WorkerAt((x + width_ - 1) % width_, y);
+      x_prev_[static_cast<size_t>(w)] = AddLink(w, to, cost.alpha, cost.beta);
+      RegisterIngress(to, x_prev_[static_cast<size_t>(w)]);
+    }
+    if (height_ >= 2) {
+      const int to = WorkerAt(x, (y + 1) % height_);
+      y_next_[static_cast<size_t>(w)] = AddLink(w, to, cost.alpha, cost.beta);
+      RegisterIngress(to, y_next_[static_cast<size_t>(w)]);
+    }
+    if (height_ >= 3) {
+      const int to = WorkerAt(x, (y + height_ - 1) % height_);
+      y_prev_[static_cast<size_t>(w)] = AddLink(w, to, cost.alpha, cost.beta);
+      RegisterIngress(to, y_prev_[static_cast<size_t>(w)]);
+    }
+  }
+}
+
+std::string TorusTopology::DescribeSpec(int num_workers, int width,
+                                        int height) {
+  return StrFormat("torus(P=%d, %dx%d)", num_workers, width, height);
+}
+
+std::string TorusTopology::Describe() const {
+  return DescribeSpec(num_workers(), width_, height_);
+}
+
+int TorusTopology::WalkDimension(int from, int to, int dim,
+                                 std::vector<LinkId>* path) const {
+  const int extent = dim == 0 ? width_ : height_;
+  const std::vector<LinkId>& next = dim == 0 ? x_next_ : y_next_;
+  const std::vector<LinkId>& prev = dim == 0 ? x_prev_ : y_prev_;
+  int at = dim == 0 ? XOf(from) : YOf(from);
+  const int forward = (to - at + extent) % extent;
+  const int backward = extent - forward;
+  const bool positive = forward <= backward || prev.empty();
+  int node = from;
+  while (at != to) {
+    path->push_back(positive ? next[static_cast<size_t>(node)]
+                             : prev[static_cast<size_t>(node)]);
+    at = positive ? (at + 1) % extent : (at + extent - 1) % extent;
+    node = dim == 0 ? WorkerAt(at, YOf(node)) : WorkerAt(XOf(node), at);
+  }
+  return node;
+}
+
+void TorusTopology::Route(int src, int dst,
+                          std::vector<LinkId>* path) const {
+  path->clear();
+  // Dimension-order routing: along the row first, then the column — the
+  // deterministic deadlock-free classic, and every (src, dst) pair gets
+  // one fixed path for both charge engines.
+  const int mid = WalkDimension(src, XOf(dst), /*dim=*/0, path);
+  WalkDimension(mid, YOf(dst), /*dim=*/1, path);
 }
 
 }  // namespace spardl

@@ -7,6 +7,16 @@
 
 namespace spardl {
 
+std::string_view ChargeEngineName(ChargeEngine engine) {
+  switch (engine) {
+    case ChargeEngine::kBusyUntil:
+      return "busy-until";
+    case ChargeEngine::kEventOrdered:
+      return "event-ordered";
+  }
+  return "?";
+}
+
 Topology::Topology(int num_workers, CostModel base_cost)
     : num_workers_(num_workers), base_cost_(base_cost) {
   SPARDL_CHECK_GE(num_workers, 1);

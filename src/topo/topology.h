@@ -14,6 +14,28 @@ namespace spardl {
 /// Index of a directed link inside a `Topology`.
 using LinkId = int;
 
+/// Which accounting engine charges messages on this fabric.
+///
+///  * `kBusyUntil` — the legacy simnet v2 engine: each `Recv` walks the
+///    route and advances per-link busy-until clocks in the wall-clock
+///    order receivers happen to charge. Cheap and good enough for
+///    uncontended fabrics, but contended times can shift (boundedly) with
+///    thread interleaving.
+///  * `kEventOrdered` — the simnet v3 discrete-event engine (`src/des`):
+///    flows are injected at *send* time and per-hop transmission events
+///    are processed in `(time, flow key)` order, so contended times are
+///    bit-identical across runs regardless of thread scheduling.
+///
+/// Topologies whose charge is a closed form independent of link state
+/// (`FlatTopology`) ignore the choice — both engines produce the exact
+/// legacy arithmetic there.
+enum class ChargeEngine {
+  kBusyUntil,
+  kEventOrdered,
+};
+
+std::string_view ChargeEngineName(ChargeEngine engine);
+
 /// Static description of one directed link, for inspection and tests.
 ///
 /// `tail`/`head` are graph-node ids: workers occupy 0..P-1, switches get
@@ -80,6 +102,18 @@ class Topology {
   /// One-line human description ("fattree(P=8, racks of 4, oversub 4)").
   virtual std::string Describe() const;
 
+  /// Which accounting engine `Network` should run on this fabric. Set by
+  /// `TopologySpec::Build` (before worker threads run); defaults to the
+  /// legacy busy-until engine.
+  ChargeEngine charge_engine() const { return charge_engine_; }
+  void set_charge_engine(ChargeEngine engine) { charge_engine_ = engine; }
+
+  /// True when `ChargeMessage` is a closed form that never reads or
+  /// advances link state (`FlatTopology`'s exact legacy arithmetic). Such
+  /// fabrics have nothing for an event engine to order, so `Network`
+  /// charges them directly under either `ChargeEngine`.
+  virtual bool closed_form_charge() const { return false; }
+
   /// Writes the link ids a message from worker `src` to worker `dst`
   /// crosses, in order, into `*path` (cleared first). src != dst.
   virtual void Route(int src, int dst, std::vector<LinkId>* path) const = 0;
@@ -128,6 +162,7 @@ class Topology {
 
   int num_workers_;
   CostModel base_cost_;
+  ChargeEngine charge_engine_ = ChargeEngine::kBusyUntil;
   std::vector<LinkState> links_;
   std::vector<std::vector<LinkId>> ingress_links_;  // per worker
   std::vector<double> node_scale_;                  // per worker

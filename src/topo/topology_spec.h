@@ -15,8 +15,9 @@ namespace spardl {
 enum class TopologyKind {
   kFlat,     // single crossbar; the paper's flat alpha-beta model
   kStar,     // all workers behind one switch
-  kFatTree,  // racks behind ToRs, oversubscribed trunks to one core
+  kFatTree,  // racks behind ToRs, oversubscribed trunks to ECMP'd cores
   kRing,     // neighbour links only
+  kTorus,    // 2D grid of per-direction rings
 };
 
 std::string_view TopologyKindName(TopologyKind kind);
@@ -34,11 +35,22 @@ struct TopologySpec {
   /// hops so an uncontended one-hop-equivalent message still costs
   /// alpha + beta*words.
   CostModel cost = CostModel::Ethernet();
+  /// Which accounting engine charges contended links: the legacy
+  /// busy-until clocks (wall-clock charge order; cheap) or the simnet v3
+  /// event-ordered engine (bit-identical contended times across runs).
+  ChargeEngine engine = ChargeEngine::kBusyUntil;
   /// Fat-tree only: workers per rack.
   int rack_size = 4;
   /// Fat-tree only: trunk beta multiplier (> 1 = under-provisioned rack
   /// uplink).
   double oversubscription = 4.0;
+  /// Fat-tree only: number of core switches; cross-rack flows are spread
+  /// across them by deterministic ECMP hashing.
+  int num_cores = 1;
+  /// Torus only: grid dimensions; `Build` requires
+  /// num_workers == torus_width * torus_height.
+  int torus_width = 0;
+  int torus_height = 0;
 
   static TopologySpec Flat(int num_workers,
                            CostModel cost = CostModel::Ethernet());
@@ -46,17 +58,23 @@ struct TopologySpec {
                            CostModel cost = CostModel::Ethernet());
   static TopologySpec FatTree(int num_workers, int rack_size,
                               double oversubscription,
-                              CostModel cost = CostModel::Ethernet());
+                              CostModel cost = CostModel::Ethernet(),
+                              int num_cores = 1);
   static TopologySpec Ring(int num_workers,
                            CostModel cost = CostModel::Ethernet());
+  static TopologySpec Torus(int width, int height,
+                            CostModel cost = CostModel::Ethernet());
 
-  /// Parses "flat", "star", "ring", "fattree" or
-  /// "fattree:<rack_size>x<oversub>" (e.g. "fattree:4x8"). `num_workers`
-  /// and `cost` fill the corresponding fields.
+  /// Parses "flat", "star", "ring", "fattree",
+  /// "fattree:<rack_size>x<oversub>[x<cores>]" (e.g. "fattree:4x8" or the
+  /// ECMP'd "fattree:4x8x2"), or "torus:<width>x<height>" (e.g.
+  /// "torus:4x2"). Any form takes an optional "+event" / "+busy" suffix
+  /// selecting the charge engine (e.g. "fattree:4x8x2+event").
+  /// `num_workers` and `cost` fill the corresponding fields.
   static Result<TopologySpec> Parse(std::string_view text, int num_workers,
                                     CostModel cost = CostModel::Ethernet());
 
-  /// Validates and instantiates the fabric.
+  /// Validates and instantiates the fabric (with `engine` applied).
   Result<std::unique_ptr<Topology>> Build() const;
 
   /// One-line human description, e.g. "fattree(P=8, racks of 4, oversub

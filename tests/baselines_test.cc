@@ -27,10 +27,6 @@ AlgorithmConfig MakeConfig(int p, size_t n, size_t k) {
   return config;
 }
 
-bool SupportsWorkerCount(const std::string& name, int p) {
-  return name != "gtopk" || (p & (p - 1)) == 0;
-}
-
 // Consistency: every method must leave all workers with the identical
 // global gradient, across several residual-carrying iterations.
 class BaselineConsistencySweep
@@ -38,9 +34,6 @@ class BaselineConsistencySweep
 
 TEST_P(BaselineConsistencySweep, AllWorkersIdentical) {
   const auto [name, p] = GetParam();
-  if (!SupportsWorkerCount(name, p)) {
-    GTEST_SKIP() << name << " does not support P=" << p;
-  }
   const size_t n = 64u * static_cast<size_t>(p);
   const size_t k = 6u * static_cast<size_t>(p);
   std::vector<std::vector<SparseVector>> outputs;
@@ -74,9 +67,6 @@ class BaselineExactSweep
 
 TEST_P(BaselineExactSweep, MatchesDenseSumWhenKEqualsN) {
   const auto [name, p] = GetParam();
-  if (!SupportsWorkerCount(name, p)) {
-    GTEST_SKIP() << name << " does not support P=" << p;
-  }
   const size_t n = 40u * static_cast<size_t>(p);
   std::vector<std::vector<float>> grads;
   for (int r = 0; r < p; ++r) {
@@ -166,21 +156,35 @@ TEST(TopkDsaTest, DenseSwitchCapsAllGatherWords) {
   }
 }
 
-TEST(GTopkTest, RejectsNonPowerOfTwoWorkers) {
-  auto result = CreateAlgorithm("gtopk", MakeConfig(6, 100, 10));
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+TEST(GTopkTest, GlobalGradientHasAtMostKEntries) {
+  // Power-of-two and folded non-power-of-two worker counts alike.
+  for (int p : {8, 6}) {
+    const size_t n = 512;
+    const size_t k = 32;
+    auto outs = testing::RunAlgorithm(p, n, 2, [&](int) {
+      return std::move(*CreateAlgorithm("gtopk", MakeConfig(p, n, k)));
+    });
+    EXPECT_LE(outs[0].size(), k) << "P=" << p;
+    EXPECT_GT(outs[0].size(), 0u) << "P=" << p;
+  }
 }
 
-TEST(GTopkTest, GlobalGradientHasAtMostKEntries) {
-  const int p = 8;
-  const size_t n = 512;
-  const size_t k = 32;
-  auto outs = testing::RunAlgorithm(p, n, 2, [&](int) {
-    return std::move(*CreateAlgorithm("gtopk", MakeConfig(p, n, k)));
+TEST(GTopkTest, FoldAddsOneExchangeForExtras) {
+  // P = 6 folds ranks 4 and 5 into ranks 0 and 1: the tree base is 4, so
+  // rank 5 sends once into the fold and receives the result once back.
+  const int p = 6;
+  const size_t n = 256;
+  Cluster cluster(p, CostModel::Ethernet());
+  cluster.Run([&](Comm& comm) {
+    auto algo = std::move(*CreateAlgorithm("gtopk", MakeConfig(p, n, 16)));
+    std::vector<float> grad =
+        RandomGradient(n, static_cast<uint64_t>(comm.rank()));
+    algo->Run(comm, grad);
   });
-  EXPECT_LE(outs[0].size(), k);
-  EXPECT_GT(outs[0].size(), 0u);
+  for (int r = 4; r < 6; ++r) {
+    EXPECT_EQ(cluster.comm(r).stats().messages_sent, 1u) << "rank " << r;
+    EXPECT_EQ(cluster.comm(r).stats().messages_received, 1u) << "rank " << r;
+  }
 }
 
 TEST(OkTopkTest, ThresholdPruningCountVaries) {
@@ -257,7 +261,7 @@ TEST(OkTopkTest, RebalanceMovesBoundariesUnderSkew) {
 
 TEST(RegistryTest, CreatesEveryRegisteredName) {
   for (const std::string& name : AlgorithmNames()) {
-    const int p = 4;  // power of two so gTopk is constructible
+    const int p = 6;  // non-power-of-two: every method must construct
     auto result = CreateAlgorithm(name, MakeConfig(p, 256, 16));
     ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
     EXPECT_FALSE((*result)->name().empty());

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
@@ -21,9 +22,13 @@ namespace spardl {
 namespace {
 
 std::vector<TopologySpec> AllSpecs(int p, CostModel cm) {
+  // A P x 1 torus degenerates to a ring but exercises the torus plumbing
+  // at every worker count; 2D grids get dedicated tests below.
   return {TopologySpec::Flat(p, cm), TopologySpec::Star(p, cm),
           TopologySpec::FatTree(p, /*rack_size=*/3, /*oversub=*/4.0, cm),
-          TopologySpec::Ring(p, cm)};
+          TopologySpec::FatTree(p, /*rack_size=*/3, /*oversub=*/4.0, cm,
+                                /*num_cores=*/2),
+          TopologySpec::Ring(p, cm), TopologySpec::Torus(p, 1, cm)};
 }
 
 // Every route must be a contiguous walk from src's terminal to dst's
@@ -91,7 +96,10 @@ TEST(TopologyRoutingTest, FatTreeCrossRackUsesTrunks) {
 }
 
 TEST(TopologySpecTest, ParseRoundTrips) {
-  for (const char* text : {"flat", "star", "ring", "fattree", "fattree:4x8"}) {
+  for (const char* text :
+       {"flat", "star", "ring", "fattree", "fattree:4x8", "fattree:4x8x2",
+        "torus:4x2", "torus:2x4", "flat+event", "fattree:4x8x2+event",
+        "torus:4x2+busy"}) {
     auto spec = TopologySpec::Parse(text, 8);
     ASSERT_TRUE(spec.ok()) << text;
     EXPECT_TRUE((*spec).Build().ok()) << text;
@@ -100,19 +108,223 @@ TEST(TopologySpecTest, ParseRoundTrips) {
   ASSERT_TRUE(spec.ok());
   EXPECT_EQ((*spec).rack_size, 2);
   EXPECT_DOUBLE_EQ((*spec).oversubscription, 16.0);
+  EXPECT_EQ((*spec).num_cores, 1);
+  EXPECT_EQ((*spec).engine, ChargeEngine::kBusyUntil);
+
+  spec = TopologySpec::Parse("fattree:4x8x2+event", 16);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec).rack_size, 4);
+  EXPECT_DOUBLE_EQ((*spec).oversubscription, 8.0);
+  EXPECT_EQ((*spec).num_cores, 2);
+  EXPECT_EQ((*spec).engine, ChargeEngine::kEventOrdered);
+  {
+    auto built = (*spec).Build();
+    ASSERT_TRUE(built.ok());
+    EXPECT_EQ((*built)->charge_engine(), ChargeEngine::kEventOrdered);
+  }
+
+  spec = TopologySpec::Parse("torus:4x2", 8);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec).torus_width, 4);
+  EXPECT_EQ((*spec).torus_height, 2);
+
+  // A '+' inside a numeric parameter is not an engine suffix: scientific
+  // notation keeps parsing (regression for the "+event" stripping).
+  spec = TopologySpec::Parse("fattree:4x1e+1", 8);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ((*spec).oversubscription, 10.0);
+  EXPECT_EQ((*spec).engine, ChargeEngine::kBusyUntil);
 
   EXPECT_FALSE(TopologySpec::Parse("torus", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("torus:4", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("torus:4xtwo", 8).ok());
   EXPECT_FALSE(TopologySpec::Parse("fattree:x", 8).ok());
   EXPECT_FALSE(TopologySpec::Parse("fattree:4xgarbage", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("fattree:4x8xgarbage", 8).ok());
+  EXPECT_FALSE(TopologySpec::Parse("flat+warp", 8).ok());
   EXPECT_FALSE(TopologySpec::Flat(0).Build().ok());
   EXPECT_FALSE(TopologySpec::FatTree(8, 0, 4.0).Build().ok());
   EXPECT_FALSE(TopologySpec::FatTree(8, 4, 0.0).Build().ok());
+  EXPECT_FALSE(TopologySpec::FatTree(8, 4, 4.0, CostModel::Ethernet(),
+                                     /*num_cores=*/0)
+                   .Build()
+                   .ok());
+  // The grid must hold exactly num_workers workers.
+  EXPECT_FALSE((*TopologySpec::Parse("torus:3x3", 8)).Build().ok());
 }
 
 // Constructing the fabric directly (bypassing Build's validation) must die
 // on the CHECK, not divide by zero computing the rack count.
 TEST(TopologySpecTest, FatTreeCtorRejectsZeroRackSize) {
   EXPECT_DEATH(FatTreeTopology(8, 0, 4.0, CostModel::Ethernet()), "");
+}
+
+// Torus routing: dimension order (x then y), shorter way around each
+// ring, Manhattan wrap distance hop counts, contiguous walks (the generic
+// walk test covers P x 1; this covers real 2D grids).
+TEST(TorusRoutingTest, DimensionOrderShortestPaths) {
+  for (const auto& [w, h] : std::vector<std::pair<int, int>>{
+           {2, 2}, {3, 2}, {4, 2}, {3, 3}, {4, 4}, {1, 4}}) {
+    TorusTopology torus(w, h, CostModel::Ethernet());
+    const int p = w * h;
+    std::vector<LinkId> path;
+    for (int src = 0; src < p; ++src) {
+      for (int dst = 0; dst < p; ++dst) {
+        if (src == dst) continue;
+        torus.Route(src, dst, &path);
+        const int dx_raw = ((dst % w) - (src % w) + w) % w;
+        const int dy_raw = ((dst / w) - (src / w) + h) % h;
+        const int dx = std::min(dx_raw, w - dx_raw);
+        const int dy = std::min(dy_raw, h - dy_raw);
+        ASSERT_EQ(path.size(), static_cast<size_t>(dx + dy))
+            << w << "x" << h << " " << src << "->" << dst;
+        // Contiguous walk ending at dst.
+        int at = src;
+        for (LinkId id : path) {
+          const LinkInfo link = torus.link_info(id);
+          ASSERT_EQ(link.tail, at);
+          at = link.head;
+        }
+        EXPECT_EQ(at, dst);
+      }
+    }
+  }
+}
+
+TEST(TorusChargeTest, UncontendedFlowPaysManhattanLatency) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 50;
+  Cluster cluster(TopologySpec::Torus(4, 2, cm));
+  cluster.Run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // (0,0) -> (2,1): 2 x-hops + 1 y-hop.
+      comm.Send(6, Payload(std::vector<float>(words, 1.0f)));
+    } else if (comm.rank() == 6) {
+      comm.RecvAs<std::vector<float>>(0);
+      EXPECT_DOUBLE_EQ(comm.sim_now(),
+                       3.0 * cm.alpha +
+                           cm.beta * static_cast<double>(words));
+    }
+  });
+}
+
+// Crossing row flows share a ring segment and must serialize; flows in
+// different rows never touch.
+TEST(TorusChargeTest, RowFlowsContendColumnsDoNot) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  const double serialize = cm.beta * static_cast<double>(words);
+  // 4x2: ranks 0..3 are row 0, ranks 4..7 are row 1. Flow A is 0 -> 2
+  // (eastbound through 1). Flow B is 1 -> 3 (shares the 1 -> 2 segment
+  // with A) or its row-1 twin 5 -> 7 (disjoint).
+  double makespan[2];
+  int slot = 0;
+  for (bool same_row : {true, false}) {
+    const int b_src = same_row ? 1 : 5;
+    const int b_dst = same_row ? 3 : 7;
+    Cluster cluster(TopologySpec::Torus(4, 2, cm));
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.Send(2, Payload(std::vector<float>(words, 1.0f)));
+      } else if (comm.rank() == 2) {
+        comm.RecvAs<std::vector<float>>(0);
+      }
+      if (comm.rank() == b_src) {
+        comm.Send(b_dst, Payload(std::vector<float>(words, 1.0f)));
+      } else if (comm.rank() == b_dst) {
+        comm.RecvAs<std::vector<float>>(b_src);
+      }
+    });
+    makespan[slot++] = cluster.MaxSimSeconds();
+  }
+  // Disjoint rows overlap fully: two 2-hop flows, uncontended.
+  EXPECT_DOUBLE_EQ(makespan[1], 2.0 * cm.alpha + serialize);
+  // The shared 1 -> 2 segment serializes the same-row pair.
+  EXPECT_GT(makespan[0], makespan[1] + 0.9 * serialize);
+}
+
+TEST(FatTreeEcmpTest, CoreSelectionIsDeterministicAndUsed) {
+  FatTreeTopology tree(8, /*rack_size=*/4, /*oversub=*/4.0,
+                       CostModel::Ethernet(), /*num_cores=*/3);
+  EXPECT_EQ(tree.num_cores(), 3);
+  // 2 racks x 3 cores x 2 directions of trunks + 8 up + 8 down.
+  EXPECT_EQ(tree.num_links(), 16 + 12);
+  std::vector<LinkId> path;
+  bool multiple_cores_used = false;
+  int first_core = -1;
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 4; dst < 8; ++dst) {
+      const int core = tree.CoreFor(src, dst);
+      ASSERT_GE(core, 0);
+      ASSERT_LT(core, 3);
+      EXPECT_EQ(core, tree.CoreFor(src, dst));  // stable
+      if (first_core < 0) first_core = core;
+      if (core != first_core) multiple_cores_used = true;
+      // The routed path's middle node must be that core's graph id.
+      tree.Route(src, dst, &path);
+      ASSERT_EQ(path.size(), 4u);
+      const int core_node = tree.link_info(path[1]).head;
+      EXPECT_EQ(core_node, 8 + 2 + core);  // P + num_racks + core
+    }
+  }
+  EXPECT_TRUE(multiple_cores_used)
+      << "ECMP hash degenerated to a single core";
+}
+
+// Two cross-rack flows that hash to different cores overlap fully — the
+// rack trunk is no longer a single serialization point (the PR 2
+// limitation this subsystem removes).
+TEST(FatTreeEcmpTest, DistinctCoresRemoveTrunkSerialization) {
+  const CostModel cm{1e-3, 1e-6};
+  const size_t words = 10'000;
+  const double trunk_serialize =
+      4.0 * cm.beta * static_cast<double>(words);
+
+  // Find two sender/receiver pairs (rack 0 -> rack 1, all four workers
+  // distinct) that ECMP pins to different cores.
+  FatTreeTopology probe(8, /*rack_size=*/4, /*oversub=*/4.0, cm,
+                        /*num_cores=*/2);
+  int s1 = -1, d1 = -1, s2 = -1, d2 = -1;
+  for (int a = 0; a < 4 && s2 < 0; ++a) {
+    for (int b = 4; b < 8 && s2 < 0; ++b) {
+      for (int c = 0; c < 4 && s2 < 0; ++c) {
+        for (int d = 4; d < 8 && s2 < 0; ++d) {
+          if (a == c || b == d) continue;
+          if (probe.CoreFor(a, b) != probe.CoreFor(c, d)) {
+            s1 = a;
+            d1 = b;
+            s2 = c;
+            d2 = d;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GE(s2, 0) << "no core-disjoint pair found";
+
+  double makespan[2];
+  int slot = 0;
+  for (int cores : {1, 2}) {
+    Cluster cluster(TopologySpec::FatTree(8, /*rack_size=*/4,
+                                          /*oversub=*/4.0, cm, cores));
+    cluster.Run([&](Comm& comm) {
+      if (comm.rank() == s1) {
+        comm.Send(d1, Payload(std::vector<float>(words, 1.0f)));
+      } else if (comm.rank() == s2) {
+        comm.Send(d2, Payload(std::vector<float>(words, 1.0f)));
+      } else if (comm.rank() == d1) {
+        comm.RecvAs<std::vector<float>>(s1);
+      } else if (comm.rank() == d2) {
+        comm.RecvAs<std::vector<float>>(s2);
+      }
+    });
+    makespan[slot++] = cluster.MaxSimSeconds();
+  }
+  const double uncontended = 2.0 * cm.alpha + trunk_serialize;
+  // One core: the two flows serialize on the shared trunks.
+  EXPECT_GT(makespan[0], uncontended + 0.9 * trunk_serialize);
+  // Two cores with core-disjoint hashes: full overlap, uncontended time.
+  EXPECT_DOUBLE_EQ(makespan[1], uncontended);
 }
 
 // The tentpole equivalence: a Cluster over TopologySpec::Flat must charge
