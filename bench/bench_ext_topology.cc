@@ -10,10 +10,13 @@
 //
 //   $ ./build/bench/bench_ext_topology [--workers N] [--iterations N]
 //         [--topology SPEC] [--engine busy|event]
+//         [--placement contiguous|rack|interleaved]
 //
 // --topology replaces the sweep with one fabric; --engine selects the
 // charge engine for every fabric (event = the deterministic simnet v3
-// discrete-event engine).
+// discrete-event engine); --placement pins SparDL's team layout for the
+// method table. A second table compares the three placement policies for
+// SparDL (d = 2) on every multi-rack fabric of the sweep.
 
 #include <cstdio>
 #include <string>
@@ -22,6 +25,7 @@
 #include "bench_util.h"
 #include "common/strings.h"
 #include "metrics/table.h"
+#include "topo/placement.h"
 
 int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
     options.num_workers = p;
     options.k_ratio = 0.01;
     options.topology = spec;
+    options.placement = args.placement_or(PlacementPolicy::kContiguous);
     options.measured_iterations = args.iterations_or(2);
     std::vector<std::string> row = {spec.Describe()};
     for (size_t a = 0; a < algos.size(); ++a) {
@@ -79,6 +84,40 @@ int main(int argc, char** argv) {
     table.AddRow(row);
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // Team-placement comparison: SparDL's d = 2 teams under each layout, on
+  // every fabric of the sweep with more than one locality group (the
+  // others cost the same under any layout and are skipped).
+  if (p % 2 == 0) {
+    TablePrinter placement_table({"topology", "contiguous", "rack-local",
+                                  "interleaved"});
+    bool any = false;
+    for (const TopologySpec& spec : fabrics) {
+      if (LocalityGroups(spec, p).size() <= 1) continue;
+      any = true;
+      std::vector<std::string> row = {spec.Describe()};
+      for (PlacementPolicy policy : AllPlacementPolicies()) {
+        bench::PerUpdateOptions options;
+        options.num_workers = p;
+        options.k_ratio = 0.01;
+        options.topology = spec;
+        options.num_teams = 2;
+        options.placement = policy;
+        options.measured_iterations = args.iterations_or(2);
+        const bench::PerUpdateResult r =
+            bench::MeasurePerUpdate("spardl", profile, options);
+        row.push_back(StrFormat("%.4f s", r.comm_seconds));
+      }
+      placement_table.AddRow(row);
+    }
+    if (any) {
+      std::printf(
+          "team placement (SparDL, d=2): per-update comm seconds by "
+          "layout\n%s\n",
+          placement_table.ToString().c_str());
+    }
+  }
+
   std::printf(
       "Reading: star adds sender-uplink serialization, so fan-out-heavy "
       "phases queue; the oversubscribed fat-tree multiplies every "

@@ -14,8 +14,9 @@ namespace {
 
 constexpr const char* kFlagHelp =
     "(supported flags: --workers N, --iterations N, --topology SPEC, "
-    "--engine busy|event; env SPARDL_BENCH_WORKERS, "
-    "SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, SPARDL_BENCH_ENGINE)";
+    "--engine busy|event, --placement contiguous|rack|interleaved; env "
+    "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, "
+    "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT)";
 
 [[noreturn]] void DieBadValue(const char* what, const char* text) {
   std::fprintf(stderr, "bad value '%s' for %s: want a positive integer %s\n",
@@ -73,6 +74,16 @@ std::optional<std::string> MatchStringFlag(const char* name, int argc,
   return std::string(argv[*i]);
 }
 
+PlacementPolicy ParsePlacementOrDie(const std::string& text) {
+  auto parsed = ParsePlacementPolicy(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --placement: %s %s\n",
+                 parsed.status().ToString().c_str(), kFlagHelp);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
 ChargeEngine ParseEngineOrDie(const std::string& text) {
   if (text == "busy" || text == "busy-until") return ChargeEngine::kBusyUntil;
   if (text == "event" || text == "event-ordered") {
@@ -105,6 +116,9 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   if (auto engine = EnvString("SPARDL_BENCH_ENGINE")) {
     args.engine = ParseEngineOrDie(*engine);
   }
+  if (auto placement = EnvString("SPARDL_BENCH_PLACEMENT")) {
+    args.placement = ParsePlacementOrDie(*placement);
+  }
   for (int i = 1; i < argc; ++i) {
     if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
       args.workers = *v;
@@ -114,6 +128,8 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.topology = *v;
     } else if (auto v = MatchStringFlag("engine", argc, argv, &i)) {
       args.engine = ParseEngineOrDie(*v);
+    } else if (auto v = MatchStringFlag("placement", argc, argv, &i)) {
+      args.placement = ParsePlacementOrDie(*v);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s' %s\n", argv[i], kFlagHelp);
       std::exit(2);
@@ -186,15 +202,23 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
       k, static_cast<size_t>(options.candidate_factor *
                              static_cast<double>(k)));
 
+  const TopologySpec fabric = ResolveFabric(
+      options.topology, options.num_workers, options.cost_model);
+
   AlgorithmConfig config;
   config.n = n;
   config.k = k;
   config.num_workers = options.num_workers;
   config.num_teams = options.num_teams;
   config.residual_mode = ResidualMode::kNone;
+  // The team layout is planned against the *resolved* fabric, so a
+  // --topology override changes where teams land, not just link costs.
+  auto placement = PlanPlacement(fabric, options.num_workers,
+                                 options.num_teams, options.placement);
+  SPARDL_CHECK(placement.ok()) << placement.status().ToString();
+  config.placement = std::move(*placement);
 
-  Cluster cluster(ResolveFabric(options.topology, options.num_workers,
-                                options.cost_model));
+  Cluster cluster(fabric);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {
@@ -245,6 +269,49 @@ std::vector<PerUpdateResult> MeasurePerUpdateAll(
     results.push_back(MeasurePerUpdate(name, profile, options));
   }
   return results;
+}
+
+TeamTuneResult TuneTeamPlacement(const ModelProfile& profile,
+                                 const TopologySpec& fabric,
+                                 const TeamTuneOptions& options) {
+  const int p = fabric.num_workers;
+  SPARDL_CHECK_GE(p, 2) << "tuning needs at least two workers";
+  // One locality group means every layout shares the same link costs —
+  // grid only over d there (the historical flat behaviour).
+  const bool layout_matters = LocalityGroups(fabric, p).size() > 1;
+  TeamTuneResult result;
+  for (int d = 1; d <= p; ++d) {
+    if (p % d != 0) continue;  // d must divide P
+    std::vector<PlacementPolicy> policies = options.policies;
+    if (d == 1 || !layout_matters) {
+      policies = {PlacementPolicy::kContiguous};
+    }
+    for (PlacementPolicy policy : policies) {
+      PerUpdateOptions per_update;
+      per_update.num_workers = p;
+      per_update.k_ratio = options.k_ratio;
+      per_update.num_teams = d;
+      per_update.placement = policy;
+      per_update.topology = fabric;
+      per_update.cost_model = fabric.cost;
+      per_update.measured_iterations = options.measured_iterations;
+      const PerUpdateResult r =
+          MeasurePerUpdate("spardl", profile, per_update);
+      TeamTuneCandidate candidate;
+      candidate.num_teams = d;
+      candidate.placement = policy;
+      candidate.algo_label = r.algo_label;
+      candidate.epoch_seconds = (r.comm_seconds + r.compute_seconds) *
+                                options.iterations_per_epoch;
+      if (!result.candidates.empty() &&
+          candidate.epoch_seconds <
+              result.candidates[result.best_index].epoch_seconds) {
+        result.best_index = result.candidates.size();
+      }
+      result.candidates.push_back(std::move(candidate));
+    }
+  }
+  return result;
 }
 
 }  // namespace bench

@@ -10,6 +10,7 @@
 #include "baselines/registry.h"
 #include "dl/grad_profile.h"
 #include "simnet/cluster.h"
+#include "topo/placement.h"
 #include "topo/topology_spec.h"
 
 namespace spardl {
@@ -21,12 +22,14 @@ namespace bench {
 ///   --iterations=N / --iterations N measured iterations override
 ///   --topology=SPEC                 fabric override ("fattree:4x8x2", ...)
 ///   --engine=busy|event             charge engine override
+///   --placement=POLICY              team layout (contiguous|rack|interleaved)
 ///
 /// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` /
-/// `SPARDL_BENCH_TOPOLOGY` / `SPARDL_BENCH_ENGINE` environment variables
-/// as defaults (flag > env > the bench's built-in value), so CI can run
-/// the expensive harnesses at smoke-tier sizes — and on any fabric/engine
-/// — without editing code. Unknown `--` flags abort with a usage message;
+/// `SPARDL_BENCH_TOPOLOGY` / `SPARDL_BENCH_ENGINE` /
+/// `SPARDL_BENCH_PLACEMENT` environment variables as defaults (flag > env
+/// > the bench's built-in value), so CI can run the expensive harnesses at
+/// smoke-tier sizes — and on any fabric/engine/team layout — without
+/// editing code. Unknown `--` flags abort with a usage message;
 /// positional args are left for the bench to interpret.
 struct HarnessArgs {
   std::optional<int> workers;
@@ -34,10 +37,14 @@ struct HarnessArgs {
   /// A `TopologySpec::Parse` string (may carry a "+event" suffix).
   std::optional<std::string> topology;
   std::optional<ChargeEngine> engine;
+  std::optional<PlacementPolicy> placement;
 
   int workers_or(int fallback) const { return workers.value_or(fallback); }
   int iterations_or(int fallback) const {
     return iterations.value_or(fallback);
+  }
+  PlacementPolicy placement_or(PlacementPolicy fallback) const {
+    return placement.value_or(fallback);
   }
 
   /// The fabric this run should use: `--topology` (parsed with `workers`
@@ -97,6 +104,9 @@ struct PerUpdateOptions {
   int warmup_iterations = 1;
   int measured_iterations = 2;
   int num_teams = 1;          // for "spardl"
+  /// Team layout planned against the run's resolved fabric (for "spardl"
+  /// with num_teams > 1; ignored by the baselines).
+  PlacementPolicy placement = PlacementPolicy::kContiguous;
   uint64_t seed = 2024;
 };
 
@@ -113,6 +123,44 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
 std::vector<PerUpdateResult> MeasurePerUpdateAll(
     const std::vector<std::string>& algo_names, const ModelProfile& profile,
     const PerUpdateOptions& options);
+
+/// One (d, placement) cell of a team-tuning grid search.
+struct TeamTuneCandidate {
+  int num_teams = 1;
+  PlacementPolicy placement = PlacementPolicy::kContiguous;
+  std::string algo_label;
+  /// Simulated comm+compute seconds for one epoch on the tuned fabric.
+  double epoch_seconds = 0.0;
+};
+
+struct TeamTuneResult {
+  std::vector<TeamTuneCandidate> candidates;
+  /// Index into `candidates` of the fastest cell.
+  size_t best_index = 0;
+
+  const TeamTuneCandidate& best() const { return candidates[best_index]; }
+};
+
+struct TeamTuneOptions {
+  double k_ratio = 0.01;
+  int iterations_per_epoch = 30;
+  int measured_iterations = 2;
+  /// Placement policies to grid over. On a single-locality-group fabric
+  /// (flat/star/ring) every policy yields the same simulated times, so
+  /// the grid collapses to kContiguous there; d = 1 rows likewise carry
+  /// only one placement cell.
+  std::vector<PlacementPolicy> policies = AllPlacementPolicies();
+};
+
+/// The paper's §III-D/§IV-G team-count selection, generalised to a
+/// (d, placement) grid over the *given* fabric: one simulated epoch of
+/// `spardl` per divisor d of `fabric.num_workers` per placement policy.
+/// This is the engine behind `examples/tune_teams` — and the regression
+/// surface for the historical bug where the tuner ignored the requested
+/// topology and always tuned d on the flat closed-form fabric.
+TeamTuneResult TuneTeamPlacement(const ModelProfile& profile,
+                                 const TopologySpec& fabric,
+                                 const TeamTuneOptions& options);
 
 }  // namespace bench
 }  // namespace spardl

@@ -9,6 +9,7 @@
 #include "core/spardl.h"
 #include "dl/cases.h"
 #include "dl/trainer.h"
+#include "topo/placement.h"
 #include "topo/topology_spec.h"
 
 namespace spardl {
@@ -26,6 +27,9 @@ struct TrainRunOptions {
   int num_workers = 14;
   double k_ratio = 0.01;
   int num_teams = 1;
+  /// Team layout planned against the run's resolved fabric (SparDL with
+  /// num_teams > 1; ignored by the baselines).
+  PlacementPolicy placement = PlacementPolicy::kContiguous;
   std::optional<ResidualMode> residual_mode;  // method default when unset
   std::optional<SagMode> sag_mode;            // kAuto when unset
   int value_bits = 32;                        // SparDL wire quantization

@@ -36,6 +36,10 @@ Result<std::unique_ptr<SparseAllReduce>> CreateAlgorithm(
     std::string_view name, const AlgorithmConfig& config) {
   // "spardl" honours config.sag_mode (kAuto by default); the -rsag/-bsag
   // aliases force one SAG family, which the d-sweep benches need.
+  // Team-shape errors (bad d, mismatched placement) surface as
+  // InvalidArgument through SparDLConfig::Validate inside Create — the
+  // registry is the process boundary CLIs and benches funnel user input
+  // through, so nothing here may die on a SPARDL_CHECK instead.
   if (name == "spardl" || name == "spardl-rsag" || name == "spardl-bsag") {
     SparDLConfig spardl_config;
     spardl_config.n = config.n;
@@ -49,6 +53,7 @@ Result<std::unique_ptr<SparseAllReduce>> CreateAlgorithm(
         config.residual_mode.value_or(ResidualMode::kGlobal);
     spardl_config.lazy_sparsify = config.lazy_sparsify;
     spardl_config.value_bits = config.value_bits;
+    spardl_config.placement = config.placement;
     return Upcast(SparDL::Create(spardl_config));
   }
   if (name == "topka") {

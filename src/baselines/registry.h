@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/sparse_allreduce.h"
 #include "core/spardl.h"
+#include "topo/placement.h"
 
 namespace spardl {
 
@@ -25,6 +26,9 @@ struct AlgorithmConfig {
   int num_teams = 1;
   SagMode sag_mode = SagMode::kAuto;
   bool lazy_sparsify = true;
+  /// Team layout over the fabric (empty = contiguous). Plan one with
+  /// `PlanPlacement`; must match (num_workers, num_teams) when set.
+  TeamPlacement placement;
 
   /// When unset, each method uses its natural policy from the literature:
   /// SparDL -> GRES, TopkA/TopkDSA -> LRES, gTopk/Ok-Topk -> PRES,
@@ -40,6 +44,11 @@ struct AlgorithmConfig {
 
 /// Builds the method registered under `name`. Known names (case-sensitive):
 /// "spardl", "topka", "topkdsa", "gtopk", "oktopk", "dense".
+///
+/// Team-shape errors (a `num_teams` that does not divide `num_workers`, a
+/// `placement` laid out for a different shape) are validated at this
+/// boundary and surface as `InvalidArgument` — they never reach the
+/// `SPARDL_CHECK`s inside the communicator-group machinery.
 Result<std::unique_ptr<SparseAllReduce>> CreateAlgorithm(
     std::string_view name, const AlgorithmConfig& config);
 

@@ -52,6 +52,7 @@ Status SparDLConfig::Validate() const {
     return Status::InvalidArgument(
         StrFormat("value_bits must be 4, 8, 16 or 32; got %d", value_bits));
   }
+  SPARDL_RETURN_NOT_OK(placement.Validate(num_workers, num_teams));
   return Status::OK();
 }
 
@@ -76,6 +77,10 @@ Result<std::unique_ptr<SparDL>> SparDL::Create(const SparDLConfig& config) {
 
 SparDL::SparDL(const SparDLConfig& config, std::optional<SagMode> resolved)
     : config_(config),
+      placement_(config.placement.empty()
+                     ? TeamPlacement::Contiguous(config.num_workers,
+                                                 config.num_teams)
+                     : config.placement),
       resolved_sag_(resolved),
       residuals_(config.residual_mode == ResidualMode::kNone ? 0 : config.n,
                  config.residual_mode) {
@@ -90,20 +95,25 @@ SparDL::SparDL(const SparDLConfig& config, std::optional<SagMode> resolved)
         *resolved_sag_ == SagMode::kRecursive ? "R-SAG" : "B-SAG",
         config_.num_teams);
   }
+  // d = 1 has one team under any policy (the identity layout); tagging
+  // the name would suggest a placement effect that cannot exist.
+  if (config_.num_teams > 1 &&
+      placement_.policy() != PlacementPolicy::kContiguous) {
+    name_ += StrFormat(
+        "+%.*s",
+        static_cast<int>(PlacementPolicyName(placement_.policy()).size()),
+        PlacementPolicyName(placement_.policy()).data());
+  }
   if (config_.value_bits != 32) {
     name_ += StrFormat("+q%d", config_.value_bits);
   }
 }
 
 SparseVector SparDL::Synchronize(Comm& comm, SparseVector block) {
-  const int team_size = config_.num_workers / config_.num_teams;
-  const int team = comm.rank() / team_size;
-  const CommGroup team_group =
-      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+  const CommGroup team_group = CommGroup::Team(comm, placement_);
 
   if (resolved_sag_.has_value()) {
-    const CommGroup cross =
-        CommGroup::SamePositionAcrossTeams(comm, config_.num_teams);
+    const CommGroup cross = CommGroup::CrossTeam(comm, placement_);
     const size_t target_l = TargetL(config_);
     if (*resolved_sag_ == SagMode::kRecursive) {
       block = RSag(comm, cross, std::move(block), target_l, &residuals_);
@@ -144,10 +154,7 @@ SparseVector SparDL::Run(Comm& comm, std::span<float> grad) {
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
   residuals_.ApplyAndReset(grad);
 
-  const int team_size = config_.num_workers / config_.num_teams;
-  const int team = comm.rank() / team_size;
-  const CommGroup team_group =
-      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+  const CommGroup team_group = CommGroup::Team(comm, placement_);
   SrsOptions options;
   options.k = config_.k;
   options.lazy_sparsify = config_.lazy_sparsify;
@@ -159,10 +166,7 @@ SparseVector SparDL::Run(Comm& comm, std::span<float> grad) {
 
 SparseVector SparDL::RunOnSparse(Comm& comm, const SparseVector& candidates) {
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
-  const int team_size = config_.num_workers / config_.num_teams;
-  const int team = comm.rank() / team_size;
-  const CommGroup team_group =
-      CommGroup::ContiguousTeam(comm, config_.num_teams, team);
+  const CommGroup team_group = CommGroup::Team(comm, placement_);
   SrsOptions options;
   options.k = config_.k;
   options.lazy_sparsify = config_.lazy_sparsify;

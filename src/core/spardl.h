@@ -9,6 +9,7 @@
 #include "core/chunk_adjuster.h"
 #include "core/residual.h"
 #include "core/sparse_allreduce.h"
+#include "topo/placement.h"
 
 namespace spardl {
 
@@ -42,6 +43,12 @@ struct SparDLConfig {
   /// enable QSGD-style quantization with residual feedback of the
   /// quantization error — the paper's §VI extension).
   int value_bits = 32;
+  /// Which worker sits in which team. Empty (the default) means the
+  /// contiguous layout — bit-for-bit the historical behaviour. Plan a
+  /// topology-aware one with `PlanPlacement` so SRS traffic stays
+  /// rack-local on hierarchical fabrics; must match (num_workers,
+  /// num_teams) when set.
+  TeamPlacement placement;
 
   /// Checks all invariants (k in [1, n], d | P, R-SAG power-of-two, ...).
   Status Validate() const;
@@ -83,6 +90,9 @@ class SparDL : public SparseAllReduce {
   SparseVector Synchronize(Comm& comm, SparseVector block);
 
   SparDLConfig config_;
+  /// Resolved layout: config.placement, or the contiguous layout when the
+  /// config left it empty. Never empty after construction.
+  TeamPlacement placement_;
   std::optional<SagMode> resolved_sag_;
   ResidualStore residuals_;
   std::optional<ChunkAdjuster> adjuster_;

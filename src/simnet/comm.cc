@@ -12,6 +12,32 @@ CommGroup CommGroup::World(const Comm& comm) {
   return group;
 }
 
+CommGroup CommGroup::Team(const Comm& comm,
+                          const TeamPlacement& placement) {
+  SPARDL_CHECK(!placement.empty());
+  SPARDL_CHECK_EQ(placement.num_workers(), comm.size())
+      << "placement is laid out for a different cluster size";
+  CommGroup group;
+  group.ranks = placement.TeamMembers(placement.TeamOf(comm.rank()));
+  group.my_pos = placement.PositionOf(comm.rank());
+  return group;
+}
+
+CommGroup CommGroup::CrossTeam(const Comm& comm,
+                               const TeamPlacement& placement) {
+  SPARDL_CHECK(!placement.empty());
+  SPARDL_CHECK_EQ(placement.num_workers(), comm.size())
+      << "placement is laid out for a different cluster size";
+  const int position = placement.PositionOf(comm.rank());
+  CommGroup group;
+  group.ranks.resize(static_cast<size_t>(placement.num_teams()));
+  for (int t = 0; t < placement.num_teams(); ++t) {
+    group.ranks[static_cast<size_t>(t)] = placement.GlobalRank(t, position);
+  }
+  group.my_pos = placement.TeamOf(comm.rank());
+  return group;
+}
+
 CommGroup CommGroup::ContiguousTeam(const Comm& comm, int num_teams,
                                     int team) {
   SPARDL_CHECK_GT(num_teams, 0);
@@ -20,11 +46,13 @@ CommGroup CommGroup::ContiguousTeam(const Comm& comm, int num_teams,
   const int team_size = comm.size() / num_teams;
   SPARDL_CHECK_GE(team, 0);
   SPARDL_CHECK_LT(team, num_teams);
+  // The contiguous layout is the kContiguous placement; keep the legacy
+  // my_pos arithmetic (relative to the *requested* team) so callers
+  // addressing a team other than their own see unchanged behaviour.
+  const TeamPlacement placement =
+      TeamPlacement::Contiguous(comm.size(), num_teams);
   CommGroup group;
-  group.ranks.resize(static_cast<size_t>(team_size));
-  for (int i = 0; i < team_size; ++i) {
-    group.ranks[static_cast<size_t>(i)] = team * team_size + i;
-  }
+  group.ranks = placement.TeamMembers(team);
   group.my_pos = comm.rank() - team * team_size;
   return group;
 }
@@ -34,16 +62,8 @@ CommGroup CommGroup::SamePositionAcrossTeams(const Comm& comm,
   SPARDL_CHECK_GT(num_teams, 0);
   SPARDL_CHECK_EQ(comm.size() % num_teams, 0)
       << "team count must divide the worker count (d | P)";
-  const int team_size = comm.size() / num_teams;
-  const int my_team = comm.rank() / team_size;
-  const int my_position = comm.rank() % team_size;
-  CommGroup group;
-  group.ranks.resize(static_cast<size_t>(num_teams));
-  for (int t = 0; t < num_teams; ++t) {
-    group.ranks[static_cast<size_t>(t)] = t * team_size + my_position;
-  }
-  group.my_pos = my_team;
-  return group;
+  return CrossTeam(comm,
+                   TeamPlacement::Contiguous(comm.size(), num_teams));
 }
 
 }  // namespace spardl

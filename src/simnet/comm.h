@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "simnet/comm_stats.h"
 #include "simnet/network.h"
+#include "topo/placement.h"
 
 namespace spardl {
 
@@ -125,9 +126,9 @@ class Comm {
   CommStats stats_;
 };
 
-/// A contiguous-team view over a communicator: `ranks[i]` is the global rank
-/// of group position i. SparDL's team-based algorithms (SRS within a team,
-/// SAG across teams) run on groups.
+/// A team view over a communicator: `ranks[i]` is the global rank of group
+/// position i. SparDL's team-based algorithms (SRS within a team, SAG
+/// across teams) run on groups.
 struct CommGroup {
   std::vector<int> ranks;
   int my_pos = 0;
@@ -138,12 +139,25 @@ struct CommGroup {
   /// The whole cluster as one group.
   static CommGroup World(const Comm& comm);
 
+  /// This worker's team under `placement` (members in position order).
+  /// CHECK-fails unless the placement matches comm.size() — validate at
+  /// the config boundary (`TeamPlacement::Validate`) for a recoverable
+  /// error.
+  static CommGroup Team(const Comm& comm, const TeamPlacement& placement);
+
+  /// The cross-team group of the workers sharing this worker's in-team
+  /// position under `placement` (one worker per team, ordered by team id;
+  /// my_pos is this worker's team) — the SAG companion of `Team`.
+  static CommGroup CrossTeam(const Comm& comm,
+                             const TeamPlacement& placement);
+
   /// Team `team` of `num_teams` equal contiguous teams; workers
   /// t*(P/d) .. (t+1)*(P/d)-1. CHECK-fails unless num_teams divides P.
+  /// The `TeamPlacement::Contiguous` special case of `Team`, kept for
+  /// callers that address an explicit team id.
   static CommGroup ContiguousTeam(const Comm& comm, int num_teams, int team);
 
-  /// The cross-team group of all workers sharing this worker's position
-  /// within its team (one worker per team, ordered by team id).
+  /// The contiguous special case of `CrossTeam`.
   static CommGroup SamePositionAcrossTeams(const Comm& comm, int num_teams);
 };
 
