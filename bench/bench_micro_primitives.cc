@@ -66,6 +66,25 @@ void BM_TopKSparse(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKSparse)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_TopKSparseWarm(benchmark::State& state) {
+  // The SRS re-sparsification pattern: the same selector repeatedly
+  // re-selects with a carried threshold (here the data is static, the
+  // best case; SRS sees slow drift).
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const SparseVector input = RandomSparse(100 * nnz, nnz, 2);
+  TopKSelector selector;
+  SparseVector kept;
+  SparseVector discarded;
+  float tau = 0.0f;
+  for (auto _ : state) {
+    selector.SelectSparseWarm(input, nnz / 4, &kept, &discarded, &tau);
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_TopKSparseWarm)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
 void BM_MergeSum(benchmark::State& state) {
   const size_t nnz = static_cast<size_t>(state.range(0));
   const SparseVector a = RandomSparse(20 * nnz, nnz, 3);
@@ -79,6 +98,26 @@ void BM_MergeSum(benchmark::State& state) {
                           static_cast<int64_t>(a.size() + b.size()));
 }
 BENCHMARK(BM_MergeSum)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SumAll(benchmark::State& state) {
+  // P-way merge-sum, the SAG/all-gather reduction primitive. Wide index
+  // range so the loser tree (not the dense accumulator) is measured.
+  const size_t p = static_cast<size_t>(state.range(0));
+  const size_t nnz = 1 << 14;
+  std::vector<SparseVector> inputs;
+  for (size_t r = 0; r < p; ++r) {
+    inputs.push_back(RandomSparse(40 * nnz, nnz, 10 + r));
+  }
+  size_t total = 0;
+  for (const SparseVector& x : inputs) total += x.size();
+  for (auto _ : state) {
+    SparseVector out = SumAll(inputs);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(total));
+}
+BENCHMARK(BM_SumAll)->Arg(3)->Arg(8)->Arg(17);
 
 void BM_SrsBagLayout(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));

@@ -1,0 +1,42 @@
+# Tiny perf-artifact checker: fails if BENCH_micro.json is missing, not
+# valid JSON, carries the wrong schema, or has an empty/non-positive
+# "latest" section. Input: -DJSON_FILE=<path>.
+
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "CheckBenchMicroJson.cmake needs -DJSON_FILE=...")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "${JSON_FILE} does not exist")
+endif()
+
+file(READ "${JSON_FILE}" content)
+if(content STREQUAL "")
+  message(FATAL_ERROR "${JSON_FILE} is empty")
+endif()
+
+string(JSON schema ERROR_VARIABLE err GET "${content}" schema)
+if(err OR NOT schema STREQUAL "spardl-bench-micro/1")
+  message(FATAL_ERROR
+    "${JSON_FILE} malformed: bad schema '${schema}' (${err})")
+endif()
+
+string(JSON n ERROR_VARIABLE err LENGTH "${content}" latest)
+if(err OR n EQUAL 0)
+  message(FATAL_ERROR "${JSON_FILE} has no 'latest' benchmarks (${err})")
+endif()
+
+math(EXPR last "${n} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name ERROR_VARIABLE err MEMBER "${content}" latest ${i})
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE} latest[${i}] unreadable: ${err}")
+  endif()
+  string(JSON ips ERROR_VARIABLE err GET "${content}" latest "${name}")
+  # Positive decimal or scientific-notation number (CMake's numeric
+  # comparisons don't parse exponents, so validate the shape by regex).
+  if(err OR NOT ips MATCHES "^[0-9.]+([eE][-+]?[0-9]+)?$" OR ips MATCHES "^0+(\\.0*)?$")
+    message(FATAL_ERROR
+      "${JSON_FILE} latest['${name}'] = '${ips}' is not positive (${err})")
+  endif()
+endforeach()
+message(STATUS "${JSON_FILE}: ${n} benchmark entries OK")

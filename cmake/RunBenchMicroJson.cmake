@@ -1,0 +1,70 @@
+# Runs bench_micro_primitives in JSON mode and refreshes the "latest"
+# section of BENCH_micro.json at the repo root — the committed perf
+# trajectory. The "baseline" section (the pre-optimisation numbers) is
+# preserved verbatim so before/after stays in one artifact.
+#
+# Inputs: -DBENCH_BIN=<path> -DOUT_JSON=<path> -DWORK_DIR=<dir>
+# Env:    SPARDL_BENCH_MIN_TIME (seconds per benchmark, default 0.05 —
+#         keeps the smoke tier fast; sanitizer CI can shrink it further).
+
+foreach(var BENCH_BIN OUT_JSON WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunBenchMicroJson.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+set(min_time "$ENV{SPARDL_BENCH_MIN_TIME}")
+if(NOT min_time)
+  set(min_time "0.05")
+endif()
+
+set(raw_json "${WORK_DIR}/bench_micro_raw.json")
+execute_process(
+  COMMAND "${BENCH_BIN}"
+    "--benchmark_filter=BM_TopKDense|BM_TopKSparse|BM_MergeSum|BM_SumAll"
+    "--benchmark_min_time=${min_time}"
+    --benchmark_format=json
+    "--benchmark_out=${raw_json}"
+  RESULT_VARIABLE run_result
+  OUTPUT_QUIET)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "bench_micro_primitives failed (exit ${run_result})")
+endif()
+
+file(READ "${raw_json}" raw)
+string(JSON n_benchmarks ERROR_VARIABLE json_err LENGTH "${raw}" benchmarks)
+if(json_err OR n_benchmarks EQUAL 0)
+  message(FATAL_ERROR
+    "bench_micro_primitives produced no benchmark entries: ${json_err}")
+endif()
+
+# Distil {name: items_per_second} out of the raw run.
+set(latest "{}")
+math(EXPR last "${n_benchmarks} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name GET "${raw}" benchmarks ${i} name)
+  string(JSON ips ERROR_VARIABLE ips_err
+    GET "${raw}" benchmarks ${i} items_per_second)
+  if(NOT ips_err)
+    string(JSON latest SET "${latest}" "${name}" "${ips}")
+  endif()
+endforeach()
+
+# Merge into the committed artifact, preserving the baseline section.
+set(out "{}")
+if(EXISTS "${OUT_JSON}")
+  file(READ "${OUT_JSON}" out)
+  string(JSON schema ERROR_VARIABLE schema_err GET "${out}" schema)
+  if(schema_err)
+    set(out "{}")
+  endif()
+endif()
+string(JSON out SET "${out}" schema "\"spardl-bench-micro/1\"")
+string(JSON out SET "${out}" unit "\"items_per_second\"")
+string(JSON baseline ERROR_VARIABLE baseline_err GET "${out}" baseline)
+if(baseline_err)
+  string(JSON out SET "${out}" baseline "null")
+endif()
+string(JSON out SET "${out}" latest "${latest}")
+file(WRITE "${OUT_JSON}" "${out}\n")
+message(STATUS "Wrote ${n_benchmarks} benchmark entries to ${OUT_JSON}")

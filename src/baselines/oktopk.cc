@@ -53,7 +53,7 @@ void OkTopk::AdjustThreshold(size_t count) {
 
 SparseVector OkTopk::LocalSelectDense(std::span<const float> grad) {
   if (!threshold_initialized_) {
-    threshold_ = KthLargestAbs(grad, config_.k);
+    threshold_ = KthLargestAbs(grad, config_.k, &abs_scratch_);
     threshold_initialized_ = true;
   }
   SparseVector kept;
@@ -75,20 +75,12 @@ SparseVector OkTopk::LocalSelectDense(std::span<const float> grad) {
 
 SparseVector OkTopk::LocalSelectSparse(const SparseVector& candidates) {
   if (!threshold_initialized_) {
-    // Estimate the initial threshold from the candidates' k-th magnitude.
-    std::vector<float> abs_values;
-    abs_values.reserve(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      abs_values.push_back(std::fabs(candidates.value(i)));
-    }
-    if (config_.k < abs_values.size()) {
-      std::nth_element(abs_values.begin(),
-                       abs_values.begin() + static_cast<ptrdiff_t>(config_.k - 1),
-                       abs_values.end(), std::greater<float>());
-      threshold_ = abs_values[config_.k - 1];
-    } else {
-      threshold_ = 0.0;
-    }
+    // Estimate the initial threshold from the candidates' k-th magnitude
+    // (shared radix-select kernel; k at or beyond the candidate count
+    // calibrates to 0, keeping everything, exactly as before).
+    threshold_ = (config_.k < candidates.size())
+                     ? KthLargestAbs(candidates, config_.k, &abs_scratch_)
+                     : 0.0;
     threshold_initialized_ = true;
   }
   SparseVector kept;
@@ -138,15 +130,7 @@ SparseVector OkTopk::Core(Comm& comm, SparseVector local) {
   const size_t target = std::max<size_t>(
       1, (config_.k + static_cast<size_t>(p) - 1) / static_cast<size_t>(p));
   if (my_region.size() > target) {
-    std::vector<float> abs_values;
-    abs_values.reserve(my_region.size());
-    for (size_t i = 0; i < my_region.size(); ++i) {
-      abs_values.push_back(std::fabs(my_region.value(i)));
-    }
-    std::nth_element(abs_values.begin(),
-                     abs_values.begin() + static_cast<ptrdiff_t>(target - 1),
-                     abs_values.end(), std::greater<float>());
-    const float region_tau = abs_values[target - 1];
+    const float region_tau = KthLargestAbs(my_region, target, &abs_scratch_);
     SparseVector kept;
     SparseVector discarded;
     ThresholdSelect(my_region, region_tau, &kept, &discarded);

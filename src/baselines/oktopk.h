@@ -46,6 +46,7 @@ class OkTopk final : public BaselineBase {
   void RebalanceBoundaries(const SparseVector& final_gradient);
 
   std::vector<GradIndex> boundaries_;  // region r = [b[r], b[r+1])
+  std::vector<float> abs_scratch_;     // KthLargestAbs bucket, reused
   int rebalance_period_;
   double threshold_ = 0.0;
   bool threshold_initialized_ = false;

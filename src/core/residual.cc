@@ -67,14 +67,16 @@ void ResidualStore::AddCommDiscard(const SparseVector& discarded,
 void ResidualStore::FinishIteration(const SparseVector& final_global) {
   if (mode_ != ResidualMode::kPartial) return;
   // Keep only end-procedure residuals: discards whose index never made it
-  // into the final global gradient.
+  // into the final global gradient. Both sides are index-sorted, so one
+  // two-pointer sweep per pending vector replaces a binary search per
+  // entry (the adds happen in the same order, bit-identically).
   const auto final_indices = final_global.indices();
   for (const auto& [discarded, scale] : pending_) {
+    size_t f = 0;
     for (size_t i = 0; i < discarded.size(); ++i) {
       const GradIndex idx = discarded.index(i);
-      const bool survived = std::binary_search(final_indices.begin(),
-                                               final_indices.end(), idx);
-      if (!survived) {
+      while (f < final_indices.size() && final_indices[f] < idx) ++f;
+      if (f >= final_indices.size() || final_indices[f] != idx) {
         dense_[idx] += scale * discarded.value(i);
       }
     }

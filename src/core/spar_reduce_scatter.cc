@@ -25,7 +25,8 @@ class SrsEngine {
         layout_(group.size(), group.my_pos),
         budget_(partition_.PerBlockBudget(options.k)),
         block_state_(static_cast<size_t>(group.size())),
-        held_(static_cast<size_t>(group.size()), true) {}
+        held_(static_cast<size_t>(group.size()), true),
+        warm_threshold_(static_cast<size_t>(group.size()), 0.0f) {}
 
   const BlockPartition& partition() const { return partition_; }
   size_t budget() const { return budget_; }
@@ -105,7 +106,11 @@ class SrsEngine {
   void SparsifyBlock(int b) {
     SparseVector& state = block_state_[static_cast<size_t>(b)];
     if (state.size() <= budget_) return;
-    selector_.SelectSparse(state, budget_, &kept_, &discarded_);
+    // Warm-started selection: each block is re-sparsified every step with a
+    // slowly moving k-th magnitude, so the previous step's threshold prunes
+    // most candidates before the exact (bit-identical) pivot search.
+    selector_.SelectSparseWarm(state, budget_, &kept_, &discarded_,
+                               &warm_threshold_[static_cast<size_t>(b)]);
     if (residuals_ != nullptr) {
       residuals_->AddCommDiscard(discarded_, 1.0f);
     }
@@ -121,6 +126,7 @@ class SrsEngine {
   size_t budget_;
   std::vector<SparseVector> block_state_;
   std::vector<bool> held_;
+  std::vector<float> warm_threshold_;  // per block; 0 = cold
   TopKSelector selector_;
   SparseVector kept_;
   SparseVector discarded_;

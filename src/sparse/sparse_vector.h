@@ -10,6 +10,8 @@
 
 namespace spardl {
 
+class TopKSelector;
+
 /// Index into a flattened gradient vector.
 ///
 /// 32-bit: the largest model in the paper (BERT, 133.5M parameters) fits
@@ -22,7 +24,7 @@ using GradIndex = uint32_t;
 ///
 /// Invariants: indices are strictly ascending (sorted, unique). All SparDL
 /// and baseline communication operates on these; keeping them sorted makes
-/// merge-summation a linear two-pointer pass and makes results independent
+/// merge-summation a linear k-way merge and makes results independent
 /// of message arrival order (required for synchronous-SGD consistency).
 ///
 /// Storage is struct-of-arrays for cache-friendly scans.
@@ -62,6 +64,13 @@ class SparseVector {
     values_.push_back(value);
   }
 
+  /// Bulk append of parallel spans whose indices are strictly ascending and
+  /// all above the current last index. One O(1) boundary CHECK covers the
+  /// whole span (the span's internal order is DCHECK-verified in debug
+  /// builds), so hot paths pay one comparison instead of a per-entry check.
+  void AppendSpan(std::span<const GradIndex> indices,
+                  std::span<const float> values);
+
   /// Number of 4-byte words this vector occupies on the wire (2 per entry).
   size_t WireWords() const { return 2 * size(); }
 
@@ -91,6 +100,25 @@ class SparseVector {
   }
 
  private:
+  // Kernel backdoor for the merge/selection kernels: size the arrays
+  // without ordering enforcement, then fill entries through the raw data
+  // pointers in strictly ascending index order. Private + friended so the
+  // sorted-unique invariant stays encapsulated. Note vector::resize still
+  // value-initializes grown elements (std::vector offers no uninitialized
+  // resize), so growth costs one streaming zero-fill of the new tail; the
+  // measured kernel speedups include that cost.
+  void ResizeForOverwrite(size_t n) {
+    indices_.resize(n);
+    values_.resize(n);
+  }
+  GradIndex* MutableIndexData() { return indices_.data(); }
+  float* MutableValueData() { return values_.data(); }
+
+  friend class TopKSelector;
+  friend void MergeSum(const SparseVector& a, const SparseVector& b,
+                       SparseVector* out);
+  friend SparseVector SumAll(std::span<const SparseVector> inputs);
+
   std::vector<GradIndex> indices_;
   std::vector<float> values_;
 };
@@ -105,7 +133,11 @@ void MergeSum(const SparseVector& a, const SparseVector& b, SparseVector* out);
 void MergeSumInPlace(SparseVector* acc, const SparseVector& x,
                      SparseVector* scratch);
 
-/// Sums a list of sparse vectors pairwise in a fixed left-to-right order.
+/// Sums a list of sparse vectors. Bit-identical to pairwise left-to-right
+/// MergeSum accumulation (overlapping indices add their values in input
+/// order), but runs as a single O(total * log P) loser-tree k-way merge —
+/// or, when the index span is small relative to the total nnz, through a
+/// dense accumulator with first-touch assignment.
 SparseVector SumAll(std::span<const SparseVector> inputs);
 
 /// Concatenates vectors whose index ranges are disjoint and ascending in

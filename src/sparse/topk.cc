@@ -1,34 +1,109 @@
 #include "sparse/topk.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <functional>
 
 namespace spardl {
 
 namespace {
 
+// Bit pattern of |v|. For non-negative IEEE-754 floats the unsigned bit
+// pattern orders exactly like the float value — denormals included — so
+// magnitude comparisons run as integer compares.
+inline uint32_t AbsBits(float v) {
+  return std::bit_cast<uint32_t>(v) & 0x7FFFFFFFu;
+}
+
+// The IEEE-754 exponent byte: the radix digit for the bucket histogram.
+inline size_t ExponentBucket(uint32_t abs_bits) { return abs_bits >> 23; }
+
 // Larger |value| wins; ties go to the lower position (deterministic).
-bool CandidateGreater(float abs_a, uint32_t pos_a, float abs_b,
-                      uint32_t pos_b) {
+inline bool CandidateGreater(uint32_t abs_a, uint32_t pos_a, uint32_t abs_b,
+                             uint32_t pos_b) {
   if (abs_a != abs_b) return abs_a > abs_b;
   return pos_a < pos_b;
 }
 
+// Walks the exponent histogram from the largest bucket down to the one
+// holding the k-th element. Returns that bucket; *above gets the count of
+// elements in strictly larger buckets. Requires k <= sum(counts).
+size_t BoundaryBucket(const size_t counts[256], size_t k, size_t* above) {
+  *above = 0;
+  size_t bucket = 256;
+  while (bucket-- > 0) {
+    if (*above + counts[bucket] >= k) break;
+    *above += counts[bucket];
+  }
+  return bucket;
+}
+
 }  // namespace
 
-void TopKSelector::RankCandidates(size_t k) {
+TopKSelector::Pivot TopKSelector::PivotFromCandidates(size_t k) {
+  SPARDL_DCHECK(k >= 1);
+  SPARDL_DCHECK_LE(k, bucket_scratch_.size());
   auto cmp = [](const Candidate& a, const Candidate& b) {
-    return CandidateGreater(a.abs_value, a.position, b.abs_value, b.position);
+    return CandidateGreater(a.abs_bits, a.position, b.abs_bits, b.position);
   };
-  SPARDL_DCHECK_LE(k, scratch_.size());
-  std::nth_element(scratch_.begin(), scratch_.begin() + (k - 1),
-                   scratch_.end(), cmp);
-  positions_kept_.clear();
-  positions_kept_.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    positions_kept_.push_back(scratch_[i].position);
+  std::nth_element(bucket_scratch_.begin(), bucket_scratch_.begin() + (k - 1),
+                   bucket_scratch_.end(), cmp);
+  const Candidate& c = bucket_scratch_[k - 1];
+  return {c.abs_bits, c.position};
+}
+
+TopKSelector::Pivot TopKSelector::SparsePivotRadix(
+    std::span<const float> values, size_t k) {
+  const float* val = values.data();
+  const uint32_t n = static_cast<uint32_t>(values.size());
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    ++counts_[ExponentBucket(AbsBits(val[i]))];
   }
-  std::sort(positions_kept_.begin(), positions_kept_.end());
+  // Only the boundary bucket needs exact refinement.
+  size_t above;
+  const size_t bucket = BoundaryBucket(counts_, k, &above);
+  bucket_scratch_.clear();
+  bucket_scratch_.reserve(counts_[bucket]);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ExponentBucket(ab) == bucket) bucket_scratch_.push_back({ab, i});
+  }
+  return PivotFromCandidates(k - above);
+}
+
+void TopKSelector::EmitSparse(const SparseVector& input, size_t k,
+                              Pivot pivot, SparseVector* kept,
+                              SparseVector* discarded) {
+  const uint32_t n = static_cast<uint32_t>(input.size());
+  const GradIndex* idx = input.indices().data();
+  const float* val = input.values().data();
+  kept->ResizeForOverwrite(k);
+  GradIndex* ki = kept->MutableIndexData();
+  float* kv = kept->MutableValueData();
+  GradIndex* di = nullptr;
+  float* dv = nullptr;
+  if (discarded != nullptr) {
+    discarded->ResizeForOverwrite(n - k);
+    di = discarded->MutableIndexData();
+    dv = discarded->MutableValueData();
+  }
+  size_t nk = 0;
+  size_t nd = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab > pivot.abs_bits || (ab == pivot.abs_bits && i <= pivot.position)) {
+      ki[nk] = idx[i];
+      kv[nk] = val[i];
+      ++nk;
+    } else if (di != nullptr) {
+      di[nd] = idx[i];
+      dv[nd] = val[i];
+      ++nd;
+    }
+  }
+  SPARDL_DCHECK_EQ(nk, k);
 }
 
 void TopKSelector::SelectSparse(const SparseVector& input, size_t k,
@@ -43,24 +118,56 @@ void TopKSelector::SelectSparse(const SparseVector& input, size_t k,
     if (discarded != nullptr) *discarded = input;
     return;
   }
-  scratch_.clear();
-  scratch_.reserve(input.size());
-  for (uint32_t i = 0; i < input.size(); ++i) {
-    scratch_.push_back({std::fabs(input.value(i)), i});
+  const Pivot pivot = SparsePivotRadix(input.values(), k);
+  EmitSparse(input, k, pivot, kept, discarded);
+}
+
+void TopKSelector::SelectSparseWarm(const SparseVector& input, size_t k,
+                                    SparseVector* kept,
+                                    SparseVector* discarded,
+                                    float* warm_threshold) {
+  SPARDL_CHECK(warm_threshold != nullptr);
+  kept->Clear();
+  if (discarded != nullptr) discarded->Clear();
+  if (k >= input.size()) {
+    // No selection happened, so the threshold carries no new information.
+    *kept = input;
+    return;
   }
-  RankCandidates(k);
-  kept->Reserve(k);
-  if (discarded != nullptr) discarded->Reserve(input.size() - k);
-  size_t next_kept = 0;
-  for (uint32_t i = 0; i < input.size(); ++i) {
-    if (next_kept < positions_kept_.size() &&
-        positions_kept_[next_kept] == i) {
-      kept->PushBack(input.index(i), input.value(i));
-      ++next_kept;
-    } else if (discarded != nullptr) {
-      discarded->PushBack(input.index(i), input.value(i));
+  if (k == 0) {
+    if (discarded != nullptr) *discarded = input;
+    return;
+  }
+  const float* val = input.values().data();
+  const uint32_t n = static_cast<uint32_t>(input.size());
+  const uint32_t tau_bits = AbsBits(*warm_threshold);
+  Pivot pivot;
+  bool have_pivot = false;
+  if (tau_bits != 0) {
+    // Threshold scan: everything >= tau strictly outranks everything below
+    // it, so whenever at least k entries survive, the true top-k is a
+    // subset of the survivors and the pivot search can run on them alone.
+    size_t c = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      c += (AbsBits(val[i]) >= tau_bits) ? 1 : 0;
+    }
+    if (c >= k) {
+      bucket_scratch_.clear();
+      bucket_scratch_.reserve(c);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t ab = AbsBits(val[i]);
+        if (ab >= tau_bits) bucket_scratch_.push_back({ab, i});
+      }
+      pivot = PivotFromCandidates(k);
+      have_pivot = true;
     }
   }
+  if (!have_pivot) {
+    // Cold start, or the data drifted below the old threshold: exact path.
+    pivot = SparsePivotRadix(input.values(), k);
+  }
+  *warm_threshold = std::bit_cast<float>(pivot.abs_bits);
+  EmitSparse(input, k, pivot, kept, discarded);
 }
 
 void TopKSelector::SelectDense(std::span<const float> dense,
@@ -68,45 +175,70 @@ void TopKSelector::SelectDense(std::span<const float> dense,
                                SparseVector* kept, SparseVector* discarded) {
   kept->Clear();
   if (discarded != nullptr) discarded->Clear();
-  scratch_.clear();
-  scratch_.reserve(dense.size());
-  for (uint32_t i = 0; i < dense.size(); ++i) {
-    if (dense[i] != 0.0f) {
-      scratch_.push_back({std::fabs(dense[i]), i});
-    }
+  const float* val = dense.data();
+  const uint32_t n = static_cast<uint32_t>(dense.size());
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  size_t nnz = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab == 0) continue;  // +-0 carries no information
+    ++counts_[ExponentBucket(ab)];
+    ++nnz;
   }
-  const size_t nnz = scratch_.size();
-  if (k >= nnz) {
-    // Keep all non-zeros; nothing discarded.
-    for (const Candidate& c : scratch_) {
-      kept->PushBack(base_index + c.position, dense[c.position]);
-    }
-    return;
-  }
-  if (k == 0) {
-    if (discarded != nullptr) {
-      for (const Candidate& c : scratch_) {
-        discarded->PushBack(base_index + c.position, dense[c.position]);
+  if (k >= nnz || k == 0) {
+    // Keep (or discard) every non-zero; no pivot needed.
+    SparseVector* all = (k == 0) ? discarded : kept;
+    if (all == nullptr) return;
+    all->ResizeForOverwrite(nnz);
+    GradIndex* oi = all->MutableIndexData();
+    float* ov = all->MutableValueData();
+    size_t m = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (val[i] != 0.0f) {
+        oi[m] = base_index + i;
+        ov[m] = val[i];
+        ++m;
       }
     }
     return;
   }
-  RankCandidates(k);
-  kept->Reserve(k);
-  if (discarded != nullptr) discarded->Reserve(nnz - k);
-  // scratch_ was permuted by nth_element; walk the dense block again so the
-  // discarded side comes out index-sorted without an extra sort.
-  size_t next_kept = 0;
-  for (uint32_t i = 0; i < dense.size(); ++i) {
-    if (dense[i] == 0.0f) continue;
-    if (next_kept < positions_kept_.size() &&
-        positions_kept_[next_kept] == i) {
-      kept->PushBack(base_index + i, dense[i]);
-      ++next_kept;
-    } else if (discarded != nullptr) {
-      discarded->PushBack(base_index + i, dense[i]);
+  size_t above;
+  const size_t bucket = BoundaryBucket(counts_, k, &above);
+  bucket_scratch_.clear();
+  bucket_scratch_.reserve(counts_[bucket]);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab != 0 && ExponentBucket(ab) == bucket) {
+      bucket_scratch_.push_back({ab, i});
     }
   }
+  const Pivot pivot = PivotFromCandidates(k - above);
+  kept->ResizeForOverwrite(k);
+  GradIndex* ki = kept->MutableIndexData();
+  float* kv = kept->MutableValueData();
+  GradIndex* di = nullptr;
+  float* dv = nullptr;
+  if (discarded != nullptr) {
+    discarded->ResizeForOverwrite(nnz - k);
+    di = discarded->MutableIndexData();
+    dv = discarded->MutableValueData();
+  }
+  size_t nk = 0;
+  size_t nd = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab == 0) continue;
+    if (ab > pivot.abs_bits || (ab == pivot.abs_bits && i <= pivot.position)) {
+      ki[nk] = base_index + i;
+      kv[nk] = val[i];
+      ++nk;
+    } else if (di != nullptr) {
+      di[nd] = base_index + i;
+      dv[nd] = val[i];
+      ++nd;
+    }
+  }
+  SPARDL_DCHECK_EQ(nk, k);
 }
 
 void TopKSparse(const SparseVector& input, size_t k, SparseVector* kept,
@@ -135,17 +267,56 @@ size_t ThresholdSelect(const SparseVector& input, float threshold,
   return kept->size();
 }
 
-float KthLargestAbs(std::span<const float> dense, size_t k) {
+namespace {
+
+// Shared radix-select order statistic: histogram the exponent byte of the
+// non-zero |values|, then refine only the boundary bucket. `scratch` holds
+// that bucket (a vector<float>, so callers can reuse one buffer across
+// calls without knowing the kernel's internals).
+float KthLargestAbsImpl(const float* val, size_t n, size_t k,
+                        std::vector<float>* scratch) {
   if (k == 0) return 0.0f;
-  std::vector<float> abs_values;
-  abs_values.reserve(dense.size());
-  for (float v : dense) {
-    if (v != 0.0f) abs_values.push_back(std::fabs(v));
+  size_t counts[256] = {};
+  size_t nnz = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab == 0) continue;
+    ++counts[ExponentBucket(ab)];
+    ++nnz;
   }
-  if (k > abs_values.size()) return 0.0f;
-  std::nth_element(abs_values.begin(), abs_values.begin() + (k - 1),
-                   abs_values.end(), std::greater<float>());
-  return abs_values[k - 1];
+  if (k > nnz) return 0.0f;
+  size_t above;
+  const size_t bucket = BoundaryBucket(counts, k, &above);
+  scratch->clear();
+  scratch->reserve(counts[bucket]);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t ab = AbsBits(val[i]);
+    if (ab != 0 && ExponentBucket(ab) == bucket) {
+      scratch->push_back(std::bit_cast<float>(ab));
+    }
+  }
+  const size_t need = k - above;
+  std::nth_element(scratch->begin(),
+                   scratch->begin() + static_cast<ptrdiff_t>(need - 1),
+                   scratch->end(), std::greater<float>());
+  return (*scratch)[need - 1];
+}
+
+}  // namespace
+
+float KthLargestAbs(std::span<const float> dense, size_t k) {
+  std::vector<float> scratch;
+  return KthLargestAbsImpl(dense.data(), dense.size(), k, &scratch);
+}
+
+float KthLargestAbs(std::span<const float> dense, size_t k,
+                    std::vector<float>* scratch) {
+  return KthLargestAbsImpl(dense.data(), dense.size(), k, scratch);
+}
+
+float KthLargestAbs(const SparseVector& input, size_t k,
+                    std::vector<float>* scratch) {
+  return KthLargestAbsImpl(input.values().data(), input.size(), k, scratch);
 }
 
 }  // namespace spardl

@@ -115,6 +115,57 @@ TEST(SparseVectorTest, ExtractRangeEmptyAndFull) {
   EXPECT_EQ(out.size(), 2u);
 }
 
+TEST(SparseVectorTest, AppendSpanAppendsAboveCurrentLast) {
+  SparseVector v = Make({1, 4}, {1.0f, 2.0f});
+  const std::vector<GradIndex> idx = {7, 9};
+  const std::vector<float> val = {3.0f, 4.0f};
+  v.AppendSpan(idx, val);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.index(2), 7u);
+  EXPECT_FLOAT_EQ(v.value(3), 4.0f);
+}
+
+TEST(SparseVectorTest, AppendSpanEmptyIsNoOp) {
+  SparseVector v = Make({1}, {1.0f});
+  v.AppendSpan({}, {});
+  EXPECT_EQ(v.size(), 1u);
+  SparseVector empty;
+  empty.AppendSpan({}, {});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SparseVectorTest, AppendSpanOntoEmptyVector) {
+  SparseVector v;
+  const std::vector<GradIndex> idx = {0, 2};
+  const std::vector<float> val = {1.0f, 2.0f};
+  v.AppendSpan(idx, val);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+// The boundary CHECK survives NDEBUG: a span starting at or below the
+// current last index dies in every build type.
+TEST(SparseVectorTest, AppendSpanRejectsOverlappingBoundary) {
+  SparseVector v = Make({5}, {1.0f});
+  const std::vector<GradIndex> idx = {5};
+  const std::vector<float> val = {2.0f};
+  EXPECT_DEATH(v.AppendSpan(idx, val), "");
+}
+
+TEST(SparseVectorTest, AppendSpanRejectsMismatchedLengths) {
+  SparseVector v;
+  const std::vector<GradIndex> idx = {1, 2};
+  const std::vector<float> val = {1.0f};
+  EXPECT_DEATH(v.AppendSpan(idx, val), "");
+}
+
+// ExtractRange appends through AppendSpan, so its documented "out must end
+// below lo" contract is now boundary-CHECKed in release builds too.
+TEST(SparseVectorTest, ExtractRangeRejectsOutEndingAboveLo) {
+  SparseVector v = Make({2, 4}, {1.0f, 2.0f});
+  SparseVector out = Make({3}, {9.0f});
+  EXPECT_DEATH(v.ExtractRange(2, 5, &out), "");
+}
+
 TEST(MergeSumTest, DisjointUnion) {
   SparseVector out;
   MergeSum(Make({1, 3}, {1.0f, 3.0f}), Make({2, 4}, {2.0f, 4.0f}), &out);
