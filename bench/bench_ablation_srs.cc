@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "collectives/sparse_allgather.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -27,8 +28,9 @@ double WallSeconds(const std::function<void()>& fn) {
       .count();
 }
 
-void LazyVsEager() {
-  const int p = 14;
+void LazyVsEager(const bench::HarnessArgs& args) {
+  const int p = args.workers_or(14);
+  const int iterations = args.iterations_or(3);
   const size_t n = 1 << 20;
   const size_t k = n / 100;
   std::vector<std::vector<float>> grads;
@@ -41,8 +43,8 @@ void LazyVsEager() {
 
   TablePrinter table({"variant", "wall s / iter", "wire words / worker"});
   for (bool lazy : {false, true}) {
-    Cluster cluster(p, CostModel::Ethernet());
-    const int iterations = 3;
+    Cluster cluster(
+        *args.TopologyOr(TopologySpec::Flat(p, CostModel::Ethernet()), p));
     const double wall = WallSeconds([&] {
       for (int iter = 0; iter < iterations; ++iter) {
         cluster.Run([&](Comm& comm) {
@@ -66,10 +68,14 @@ void LazyVsEager() {
       n, table.ToString().c_str());
 }
 
-void BruckVsRecursiveDoubling() {
+void BruckVsRecursiveDoubling(const bench::HarnessArgs& args) {
   TablePrinter table({"P", "Bruck rounds", "Bruck words",
                       "recursive-doubling applicability"});
-  for (int p : {8, 12, 14}) {
+  // --workers collapses the P sweep to the requested size.
+  const std::vector<int> sweep =
+      args.workers.has_value() ? std::vector<int>{*args.workers}
+                               : std::vector<int>{8, 12, 14};
+  for (int p : sweep) {
     Cluster cluster(p, CostModel::Ethernet());
     cluster.Run([&](Comm& comm) {
       SparseVector mine;
@@ -91,9 +97,11 @@ void BruckVsRecursiveDoubling() {
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
+  const spardl::bench::HarnessArgs args =
+      spardl::bench::ParseHarnessArgs(argc, argv);
   std::printf("== Ablations of SparDL design choices ==\n\n");
-  spardl::LazyVsEager();
-  spardl::BruckVsRecursiveDoubling();
+  spardl::LazyVsEager(args);
+  spardl::BruckVsRecursiveDoubling(args);
   return 0;
 }

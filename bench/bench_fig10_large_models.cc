@@ -11,17 +11,21 @@
 #include "common/strings.h"
 #include "metrics/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
   std::printf(
-      "== Fig. 10: per-update time on large models, 14 workers ==\n\n");
+      "== Fig. 10: per-update time on large models, %d workers ==\n\n", p);
   for (const std::string& model : {std::string("ResNet-50"),
                                    std::string("BERT")}) {
     const ModelProfile& profile = ProfileByModel(model);
     bench::PerUpdateOptions options;
-    options.num_workers = 14;
+    options.num_workers = p;
     options.k_ratio = 0.01;
-    options.measured_iterations = 1;
+    options.measured_iterations = args.iterations_or(1);
+    options.topology = args.TopologyOr(std::nullopt, p);
+    options.placement = args.placement_or(PlacementPolicy::kContiguous);
     const auto results = bench::MeasurePerUpdateAll(
         {"oktopk", "spardl"}, profile, options);
     TablePrinter table(

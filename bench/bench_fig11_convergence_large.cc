@@ -6,20 +6,25 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "train_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
   std::printf(
       "== Fig. 11: convergence on large cases, SparDL vs Ok-Topk ==\n\n");
   for (const std::string& case_key :
        {std::string("resnet50"), std::string("bert")}) {
     const TrainingCaseSpec spec = MakeTrainingCase(case_key);
     bench::TrainRunOptions options;
-    options.num_workers = 14;
+    options.num_workers = p;
     options.k_ratio = case_key == "bert" ? 0.03 : 0.01;
     options.epochs = 5;
-    options.iterations_per_epoch = 10;
+    options.iterations_per_epoch = args.iterations_or(10);
+    options.topology = args.TopologyOr(std::nullopt, p);
+    options.placement = args.placement_or(PlacementPolicy::kContiguous);
     std::vector<bench::ConvergenceSeries> series;
     series.push_back(
         bench::RunTrainingCase(spec, "oktopk", "Ok-Topk", options));

@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/strings.h"
 #include "train_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
   TrainingCaseSpec spec = MakeTrainingCase("vgg16");
   // Harder task variant so the d=P quality loss is visible within the
   // short run (see bench_fig17_residuals.cc for the same reasoning).
@@ -22,30 +25,41 @@ int main() {
 
   auto run = [&](int d, SagMode mode, const std::string& label) {
     bench::TrainRunOptions options;
-    options.num_workers = 14;
+    options.num_workers = p;
     options.k_ratio = 0.004;
     options.epochs = 8;
-    options.iterations_per_epoch = 10;
+    options.iterations_per_epoch = args.iterations_or(10);
     options.num_teams = d;
+    options.topology = args.TopologyOr(std::nullopt, p);
+    options.placement = args.placement_or(PlacementPolicy::kContiguous);
     if (d > 1) options.sag_mode = mode;
     return bench::RunTrainingCase(spec, "spardl", label, options);
   };
+  // Team counts must divide P; a --workers override drops the panels
+  // whose paper d does not divide the requested size.
+  const auto divides = [&](int d) { return p % d == 0; };
 
-  std::printf("== Fig. 13(a): SparDL with R-SAG (VGG-16, P=14) ==\n\n");
+  std::printf("== Fig. 13(a): SparDL with R-SAG (VGG-16, P=%d) ==\n\n", p);
   {
     std::vector<bench::ConvergenceSeries> series;
     series.push_back(run(1, SagMode::kAuto, "d=1"));
-    series.push_back(run(2, SagMode::kRecursive, "d=2 (R-SAG)"));
+    if (divides(2)) {
+      series.push_back(run(2, SagMode::kRecursive, "d=2 (R-SAG)"));
+    }
     bench::PrintConvergence("-- R-SAG --", series);
   }
 
-  std::printf("== Fig. 13(b): SparDL with B-SAG (VGG-16, P=14) ==\n\n");
+  std::printf("== Fig. 13(b): SparDL with B-SAG (VGG-16, P=%d) ==\n\n", p);
   {
     std::vector<bench::ConvergenceSeries> series;
     series.push_back(run(1, SagMode::kAuto, "d=1"));
-    series.push_back(run(2, SagMode::kBruck, "d=2 (B-SAG)"));
-    series.push_back(run(7, SagMode::kBruck, "d=7 (B-SAG)"));
-    series.push_back(run(14, SagMode::kBruck, "d=14 (B-SAG)"));
+    for (int d : {2, 7}) {
+      if (d < p && divides(d)) {
+        series.push_back(
+            run(d, SagMode::kBruck, StrFormat("d=%d (B-SAG)", d)));
+      }
+    }
+    series.push_back(run(p, SagMode::kBruck, StrFormat("d=%d (B-SAG)", p)));
     bench::PrintConvergence("-- B-SAG --", series);
   }
   return 0;

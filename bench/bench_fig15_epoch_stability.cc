@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baselines/registry.h"
+#include "bench_util.h"
 #include "common/strings.h"
 #include "dl/grad_profile.h"
 #include "metrics/table.h"
@@ -21,7 +22,8 @@ namespace {
 
 // Simulated per-epoch seconds for `epochs` consecutive epochs (support
 // drifts across iterations like real training).
-std::vector<double> EpochTimes(const std::string& algo, int p, int d,
+std::vector<double> EpochTimes(const bench::HarnessArgs& args,
+                               const std::string& algo, int p, int d,
                                int epochs, int iters_per_epoch) {
   const ModelProfile& profile = ProfileByModel("VGG-16");
   const size_t n = profile.num_params;
@@ -33,7 +35,8 @@ std::vector<double> EpochTimes(const std::string& algo, int p, int d,
   config.num_teams = d;
   config.residual_mode = ResidualMode::kNone;
 
-  Cluster cluster(p, CostModel::Ethernet());
+  Cluster cluster(
+      *args.TopologyOr(TopologySpec::Flat(p, CostModel::Ethernet()), p));
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -60,10 +63,11 @@ std::vector<double> EpochTimes(const std::string& algo, int p, int d,
   return times;
 }
 
-void RunForWorkers(int p, const std::vector<std::pair<std::string, int>>&
-                              configurations) {
+void RunForWorkers(const bench::HarnessArgs& args, int p,
+                   const std::vector<std::pair<std::string, int>>&
+                       configurations) {
   const int epochs = 5;
-  const int iters = 8;
+  const int iters = args.iterations_or(8);
   TablePrinter table([&] {
     std::vector<std::string> header = {"config"};
     for (int e = 1; e <= epochs; ++e) {
@@ -76,7 +80,7 @@ void RunForWorkers(int p, const std::vector<std::pair<std::string, int>>&
     const std::string algo = label[0] == 'B'   ? "spardl-bsag"
                              : label[0] == 'R' ? "spardl-rsag"
                                                : "spardl";
-    std::vector<double> times = EpochTimes(algo, p, d, epochs, iters);
+    std::vector<double> times = EpochTimes(args, algo, p, d, epochs, iters);
     std::vector<std::string> row = {label};
     for (double t : times) row.push_back(StrFormat("%.2f", t));
     table.AddRow(row);
@@ -98,19 +102,35 @@ void RunForWorkers(int p, const std::vector<std::pair<std::string, int>>&
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
+  const spardl::bench::HarnessArgs args =
+      spardl::bench::ParseHarnessArgs(argc, argv);
   std::printf(
       "== Fig. 15: per-epoch time stability across epochs ==\n\n");
-  spardl::RunForWorkers(
-      14, {{"1", 1}, {"R2", 2}, {"B2", 2}, {"B7", 7}, {"B14", 14}});
-  spardl::RunForWorkers(12, {{"1", 1},
-                             {"R2", 2},
-                             {"R4", 4},
-                             {"B2", 2},
-                             {"B3", 3},
-                             {"B4", 4},
-                             {"B6", 6},
-                             {"B12", 12}});
+  if (args.workers.has_value()) {
+    // --workers collapses the two paper panels into one sweep of every
+    // divisor d of the requested size (B-SAG, plus R-SAG at d=2).
+    const int p = *args.workers;
+    std::vector<std::pair<std::string, int>> configurations = {{"1", 1}};
+    if (p % 2 == 0) configurations.push_back({"R2", 2});
+    for (int d = 2; d <= p; ++d) {
+      if (p % d == 0) {
+        configurations.push_back({spardl::StrFormat("B%d", d), d});
+      }
+    }
+    spardl::RunForWorkers(args, p, configurations);
+  } else {
+    spardl::RunForWorkers(
+        args, 14, {{"1", 1}, {"R2", 2}, {"B2", 2}, {"B7", 7}, {"B14", 14}});
+    spardl::RunForWorkers(args, 12, {{"1", 1},
+                                     {"R2", 2},
+                                     {"R4", 4},
+                                     {"B2", 2},
+                                     {"B3", 3},
+                                     {"B4", 4},
+                                     {"B6", 6},
+                                     {"B12", 12}});
+  }
   std::printf(
       "Paper claim: the optimal d is steadily fastest across epochs, so "
       "one epoch per candidate d suffices to pick it.\n");

@@ -17,13 +17,16 @@
 #include "metrics/table.h"
 #include "train_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
   const std::vector<double> ratios = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
 
   std::printf(
       "== Fig. 16 part 1: per-update comm time vs k/n (paper-scale "
-      "profiles, SparDL, P=14) ==\n\n");
+      "profiles, SparDL, P=%d) ==\n\n",
+      p);
   for (const std::string& model :
        {std::string("VGG-16"), std::string("VGG-19")}) {
     const ModelProfile& profile = ProfileByModel(model);
@@ -31,9 +34,11 @@ int main() {
     double previous = -1.0;
     for (double ratio : ratios) {
       bench::PerUpdateOptions options;
-      options.num_workers = 14;
+      options.num_workers = p;
       options.k_ratio = ratio;
-      options.measured_iterations = 1;
+      options.measured_iterations = args.iterations_or(1);
+      options.topology = args.TopologyOr(std::nullopt, p);
+      options.placement = args.placement_or(PlacementPolicy::kContiguous);
       const bench::PerUpdateResult r =
           bench::MeasurePerUpdate("spardl", profile, options);
       table.AddRow({StrFormat("%.0e", ratio),
@@ -51,17 +56,20 @@ int main() {
       "flat below (latency floor).\n\n");
 
   std::printf(
-      "== Fig. 16 part 2: convergence vs k/n (real training, P=14) ==\n\n");
+      "== Fig. 16 part 2: convergence vs k/n (real training, P=%d) ==\n\n",
+      p);
   for (const std::string& case_key :
        {std::string("vgg16"), std::string("vgg19")}) {
     const TrainingCaseSpec spec = MakeTrainingCase(case_key);
     std::vector<bench::ConvergenceSeries> series;
     for (double ratio : {1e-1, 1e-2, 1e-3}) {
       bench::TrainRunOptions options;
-      options.num_workers = 14;
+      options.num_workers = p;
       options.k_ratio = ratio;
       options.epochs = 6;
-      options.iterations_per_epoch = 10;
+      options.iterations_per_epoch = args.iterations_or(10);
+      options.topology = args.TopologyOr(std::nullopt, p);
+      options.placement = args.placement_or(PlacementPolicy::kContiguous);
       series.push_back(bench::RunTrainingCase(
           spec, "spardl", StrFormat("k/n=%.0e", ratio), options));
     }

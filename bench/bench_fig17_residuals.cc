@@ -12,13 +12,20 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "train_util.h"
 
 namespace spardl {
 namespace {
 
-void RunPanel(const std::string& title, const std::string& case_key, int d,
-              SagMode sag_mode) {
+void RunPanel(const bench::HarnessArgs& args, const std::string& title,
+              const std::string& case_key, int d, SagMode sag_mode) {
+  const int p = args.workers_or(14);
+  if (p % d != 0) {
+    std::printf("%s skipped: d=%d does not divide P=%d\n\n", title.c_str(),
+                d, p);
+    return;
+  }
   TrainingCaseSpec spec = MakeTrainingCase(case_key);
   // Harder variants of the synthetic tasks: with the paper's 160-epoch
   // budget the easy versions saturate long before the residual policies
@@ -39,10 +46,12 @@ void RunPanel(const std::string& title, const std::string& case_key, int d,
       {ResidualMode::kLocal, "SparDL-LRES"}};
   for (const auto& [mode, label] : modes) {
     bench::TrainRunOptions options;
-    options.num_workers = 14;
+    options.num_workers = p;
     options.k_ratio = 0.002;  // tight budget makes residual policy matter
     options.epochs = 10;
-    options.iterations_per_epoch = 10;
+    options.iterations_per_epoch = args.iterations_or(10);
+    options.topology = args.TopologyOr(std::nullopt, p);
+    options.placement = args.placement_or(PlacementPolicy::kContiguous);
     options.num_teams = d;
     if (d > 1) options.sag_mode = sag_mode;
     options.residual_mode = mode;
@@ -55,16 +64,19 @@ void RunPanel(const std::string& title, const std::string& case_key, int d,
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
   std::printf(
       "== Fig. 17: residual collection ablation (GRES / PRES / LRES) "
       "==\n\n");
-  RunPanel("-- (a) VGG-19-like, SparDL --", "vgg19", 1, SagMode::kAuto);
-  RunPanel("-- (b) VGG-16-like, SparDL --", "vgg16", 1, SagMode::kAuto);
-  RunPanel("-- (c) VGG-16-like, SparDL (R-SAG, d=2) --", "vgg16", 2,
+  RunPanel(args, "-- (a) VGG-19-like, SparDL --", "vgg19", 1,
+           SagMode::kAuto);
+  RunPanel(args, "-- (b) VGG-16-like, SparDL --", "vgg16", 1,
+           SagMode::kAuto);
+  RunPanel(args, "-- (c) VGG-16-like, SparDL (R-SAG, d=2) --", "vgg16", 2,
            SagMode::kRecursive);
-  RunPanel("-- (d) VGG-16-like, SparDL (B-SAG, d=7) --", "vgg16", 7,
+  RunPanel(args, "-- (d) VGG-16-like, SparDL (B-SAG, d=7) --", "vgg16", 7,
            SagMode::kBruck);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "metrics/table.h"
@@ -28,11 +29,14 @@ SparseVector WorkerTopK(int worker, size_t n, size_t k) {
 }  // namespace
 }  // namespace spardl
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
+  // This figure needs no cluster, so of the shared harness flags only
+  // --workers applies (the pairwise summation tree wants a power of two).
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
   const size_t n = 65536;
   const size_t k = 656;  // ~1% density
-  const int p = 16;
+  const int p = args.workers_or(16);
 
   std::printf(
       "== Fig. 1: the SGA dilemma ==\n"

@@ -7,19 +7,34 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/strings.h"
 #include "core/spardl.h"
 #include "dl/grad_profile.h"
 #include "metrics/table.h"
 #include "simnet/cluster.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
-  const int p = 14;
-  const int d = 7;
+  const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
+  const int p = args.workers_or(14);
+  // Teams must divide P: keep the paper's d=7 when it fits, else the
+  // largest proper divisor (so a --workers override still exercises
+  // inter-team B-SAG whenever one exists).
+  int d = 1;
+  if (p % 7 == 0) {
+    d = 7;
+  } else {
+    for (int cand = p - 1; cand >= 1; --cand) {
+      if (p % cand == 0) {
+        d = cand;
+        break;
+      }
+    }
+  }
   const size_t n = 2'000'000;
   const size_t k = 20'000;  // k/n = 1e-2
-  const int iterations = 400;
+  const int iterations = args.iterations_or(400);
 
   std::printf(
       "== Fig. 7: gradients after inter-team Bruck all-gather (B-SAG) ==\n"

@@ -1,8 +1,10 @@
 #include "train_util.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "baselines/registry.h"
+#include "dl/layers.h"
 #include "bench_util.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -13,6 +15,49 @@
 namespace spardl {
 namespace bench {
 
+TrainingCaseSpec MakeDeepOverlapCase() {
+  TrainingCaseSpec spec;
+  spec.key = "deep-overlap";
+  spec.name = "Deep VGG-shaped MLP / synthetic CIFAR-10";
+  spec.metric = TaskMetric::kAccuracy;
+  spec.dataset_factory = [] {
+    return MakeSyntheticClassification(96, 10, 1.6f, 108);
+  };
+  spec.model_factory = [](uint64_t seed) {
+    auto model = std::make_unique<Model>();
+    // Front "conv-like" layers: compute-heavy, parameter-light.
+    model->Add(std::make_unique<LinearLayer>(96, 64));   //  6,208 params
+    model->Add(std::make_unique<ReluLayer>());
+    model->Add(std::make_unique<LinearLayer>(64, 64));   //  4,160
+    model->Add(std::make_unique<ReluLayer>());
+    model->Add(std::make_unique<LinearLayer>(64, 64));   //  4,160
+    model->Add(std::make_unique<ReluLayer>());
+    // Rear "fc-like" layers: ~70% of parameters, little compute.
+    model->Add(std::make_unique<LinearLayer>(64, 512));  // 33,280
+    model->Add(std::make_unique<ReluLayer>());
+    model->Add(std::make_unique<LinearLayer>(512, 10));  //  5,130
+    model->Finalize(seed);
+    return model;
+  };
+  TrainerConfig config;
+  config.batch_size = 32;
+  config.iterations_per_epoch = 20;
+  config.epochs = 8;
+  config.sgd.learning_rate = 0.08;
+  config.sgd.momentum = 0.9;
+  // Sized against the Ethernet cost model so that on an oversubscribed
+  // fat-tree one iteration's sparse transfers at k/n = 5% roughly match
+  // the backward window: enough compute to hide buckets behind, not so
+  // much that the stream drains between launches and ordering stops
+  // mattering.
+  config.compute_seconds_per_iteration = 1.4e-2;
+  // Conv-vs-fc compute split: front layers dominate the forward/backward
+  // time even though the rear layers dominate the parameter count.
+  config.layer_compute_fractions = {0.35, 0.25, 0.2, 0.15, 0.05};
+  spec.default_config = config;
+  return spec;
+}
+
 ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
                                   const std::string& algo_name,
                                   const std::string& label,
@@ -21,6 +66,7 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
   TrainerConfig config = spec.default_config;
   config.epochs = options.epochs;
   config.iterations_per_epoch = options.iterations_per_epoch;
+  config.sync_mode = options.sync_mode;
   if (options.lr_drop_fraction > 0.0) {
     config.sgd.lr_milestones = {
         {static_cast<int>(options.lr_drop_fraction * options.epochs), 0.1}};

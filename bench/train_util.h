@@ -51,7 +51,21 @@ struct TrainRunOptions {
   /// paper testbed's bandwidth/latency/compute balance (the alpha-beta
   /// model is linear in message size, so method ratios are preserved).
   bool paper_scale_network = true;
+  /// Gradient-sync schedule: step-synchronous (default), or one of the
+  /// layer-bucketed overlap modes (`bench_ext_overlap` sweeps all three).
+  GradSyncMode sync_mode = GradSyncMode::kStepSynchronous;
 };
+
+/// A deep VGG-shaped case for the overlap harness (`bench_ext_overlap`
+/// and the overlap trainer tests): five parameter layers where the rear
+/// two hold ~70% of the parameters but the front three do most of the
+/// compute (`layer_compute_fractions` is front-heavy, like conv-vs-fc
+/// splits in real VGG). That shape is what priority scheduling exists
+/// for — the big, early-ready rear buckets clog the communication stream
+/// ahead of the small front buckets the next forward needs first. The
+/// paper's seven cases are all three-parameter-layer models, where a
+/// bucket launch order can never deviate from FIFO.
+TrainingCaseSpec MakeDeepOverlapCase();
 
 /// Trains `spec` with the named sparse All-Reduce method and returns the
 /// per-epoch curve on the simulated clock.

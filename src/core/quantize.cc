@@ -13,8 +13,12 @@ bool IsSupportedQuantization(int bits) {
 size_t QuantizedWireWords(size_t entries, int bits) {
   SPARDL_DCHECK(IsSupportedQuantization(bits));
   if (bits == 32) return 2 * entries;
-  // 4 index bytes + bits/8 value bytes per entry + 4 scale bytes.
-  const size_t bytes = entries * (4 + static_cast<size_t>(bits) / 8) + 4;
+  // 4 index bytes per entry + the value bits packed and rounded up to
+  // whole bytes across the message + 4 scale bytes. The value bytes must
+  // round up, not truncate: `entries * (bits / 8)` would charge 0 bytes
+  // for every sub-byte width.
+  const size_t value_bytes = (entries * static_cast<size_t>(bits) + 7) / 8;
+  const size_t bytes = entries * 4 + value_bytes + 4;
   return (bytes + 3) / 4;
 }
 

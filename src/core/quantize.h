@@ -25,8 +25,11 @@ void QuantizeDequantize(SparseVector* vec, int bits,
                         SparseVector* error = nullptr);
 
 /// Wire words for `entries` COO entries at `bits`-bit values: a 4-byte
-/// index plus bits/8 bytes of value per entry, plus one word for the
-/// scale, rounded up.
+/// index per entry, `ceil(entries * bits / 8)` bytes of packed values
+/// across the message (sub-byte widths pack pairs of nibbles; the odd
+/// trailing nibble pads to a byte), plus one word for the scale, all
+/// rounded up to whole words. `bits == 32` is the unquantized 2-word COO
+/// entry with no scale.
 size_t QuantizedWireWords(size_t entries, int bits);
 
 /// True for the supported widths {4, 8, 16, 32}.

@@ -19,11 +19,15 @@ void Model::Finalize(uint64_t seed) {
   grads_.assign(total, 0.0f);
   size_t offset = 0;
   Rng rng(seed);
-  for (const auto& layer : layers_) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const auto& layer = layers_[i];
     const size_t count = layer->num_params();
     layer->Bind(std::span<float>(params_).subspan(offset, count),
                 std::span<float>(grads_).subspan(offset, count));
     layer->InitParams(&rng);
+    if (count > 0) {
+      param_spans_.push_back(ParamSpan{i, offset, count, layer->name()});
+    }
     offset += count;
   }
   finalized_ = true;

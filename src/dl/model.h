@@ -3,12 +3,26 @@
 
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "dl/layers.h"
 
 namespace spardl {
+
+/// One parameter-owning layer's slice of the model's flat buffers: the
+/// unit the bucketed gradient-sync modes schedule (see `GradSyncMode`).
+/// Zero-parameter layers (activations) are skipped — they own no gradient
+/// to synchronise. `layer` is the index into the model's full layer
+/// stack, so schedulers can recover forward/backward order.
+struct ParamSpan {
+  size_t layer = 0;
+  size_t offset = 0;
+  size_t count = 0;
+  std::string_view name;
+};
 
 /// A sequential model whose parameters and gradients live in single flat
 /// float buffers — the layout the sparse All-Reduce methods synchronise.
@@ -37,6 +51,14 @@ class Model {
   std::span<const float> params() const { return params_; }
   std::span<float> grads() { return grads_; }
 
+  /// Per-parameter-layer slices of the flat buffers, in forward (layer)
+  /// order with strictly increasing, contiguous offsets. Only valid after
+  /// `Finalize`.
+  const std::vector<ParamSpan>& param_spans() const {
+    SPARDL_CHECK(finalized_);
+    return param_spans_;
+  }
+
   void ZeroGrads() { std::fill(grads_.begin(), grads_.end(), 0.0f); }
 
   /// Forward through all layers.
@@ -53,6 +75,7 @@ class Model {
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<float> params_;
   std::vector<float> grads_;
+  std::vector<ParamSpan> param_spans_;
   bool finalized_ = false;
 };
 

@@ -3,8 +3,10 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "core/sparse_allreduce.h"
 #include "dl/data.h"
 #include "dl/model.h"
@@ -12,6 +14,26 @@
 #include "simnet/cluster.h"
 
 namespace spardl {
+
+/// How the trainer overlaps gradient synchronisation with backprop on the
+/// simulated clock. Every mode computes bit-identical parameters — the
+/// modes only reschedule *when* each layer's gradients travel, never what
+/// is averaged (the synchronous-SGD invariant holds throughout).
+enum class GradSyncMode {
+  /// Today's behaviour, bit-for-bit: charge the whole iteration's compute,
+  /// then run one whole-model sparse allreduce.
+  kStepSynchronous,
+  /// One gradient bucket per parameter layer, posted on the communication
+  /// stream at the simulated instant its layer's backward slice finishes
+  /// (reverse layer order — the bucketing order backprop produces).
+  kBucketed,
+  /// Like `kBucketed`, but bucket launches are reordered so front layers —
+  /// the ones the next iteration's forward needs first — complete
+  /// earliest (Parallax/EmbRace-style priority scheduling).
+  kBucketedPriority,
+};
+
+std::string_view GradSyncModeName(GradSyncMode mode);
 
 /// Distributed S-SGD training configuration.
 struct TrainerConfig {
@@ -25,6 +47,25 @@ struct TrainerConfig {
   /// Seed for model initialisation — identical on all replicas.
   uint64_t model_seed = 7;
   size_t test_batch_size = 256;
+  /// Gradient synchronisation schedule (see `GradSyncMode`).
+  GradSyncMode sync_mode = GradSyncMode::kStepSynchronous;
+  /// Fraction of `compute_seconds_per_iteration` spent in backward; the
+  /// rest is the forward pass. Only the bucketed modes read the split:
+  /// backward slices stamp bucket-ready times, forward slices gate the
+  /// next iteration per layer (which is what priority scheduling speeds
+  /// up). Must lie in (0, 1].
+  double backward_fraction = 0.65;
+  /// Optional per-parameter-layer share of forward/backward time, in
+  /// forward layer order (`Model::param_spans()` order). Empty = split
+  /// proportionally to each layer's parameter count. When set, the size
+  /// must match the model's parameter-layer count; entries must be
+  /// non-negative with a positive sum.
+  std::vector<double> layer_compute_fractions;
+
+  /// Validates the knobs above (model-independent checks; the
+  /// `layer_compute_fractions` size is checked against the model inside
+  /// `TrainDistributed`).
+  Status Validate() const;
 };
 
 /// One epoch's scoreboard.

@@ -106,6 +106,26 @@ class Comm {
     stats_.compute_seconds += seconds;
   }
 
+  /// Advance-only clock move: waits (idle) until simulated time `t`,
+  /// no-op when the clock is already past it. Charged to neither comm nor
+  /// compute — it models the communication stream sitting idle until a
+  /// gradient bucket becomes ready. Never moves the clock backwards, so
+  /// send timestamps stay monotonic per worker (the event engine's safety
+  /// assumption).
+  void AdvanceClockTo(double t) {
+    if (t > sim_now_) sim_now_ = t;
+  }
+
+  /// Accounts `seconds` of computation that overlaps communication: the
+  /// stats line is charged but the clock does not move. The bucketed
+  /// trainer tracks the compute timeline arithmetically (per-layer slices)
+  /// and folds it into the clock via `AdvanceClockTo`, so charging the
+  /// clock here as well would double-count.
+  void ChargeOverlappedCompute(double seconds) {
+    SPARDL_DCHECK(seconds >= 0.0);
+    stats_.compute_seconds += seconds;
+  }
+
   /// Rendezvous with all workers (no simulated-time effect).
   void Barrier() { network_->BarrierWait(); }
 

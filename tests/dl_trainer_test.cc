@@ -164,6 +164,93 @@ TEST(TrainerTest, SimulatedTimeReflectsComputeCharge) {
   EXPECT_NEAR(result.epochs.back().sim_seconds_cumulative, 10.0, 1e-6);
 }
 
+// Layer-bucketed overlap modes: still synchronous SGD — every replica
+// applies the same averaged update — so replicas must stay bit-identical,
+// training must still learn, and the two bucketed modes (which only
+// reorder *when* buckets travel, never what they carry) must end with
+// bit-identical parameters.
+TEST(TrainerOverlapTest, BucketedModesLearnAndMatchEachOther) {
+  const int p = 4;
+  const TrainingCaseSpec spec = MakeTrainingCase("vgg16");
+  auto dataset = spec.dataset_factory();
+  TrainerConfig config = spec.default_config;
+  config.epochs = 4;
+  config.iterations_per_epoch = 12;
+  config.compute_seconds_per_iteration = 1.0e-3;
+
+  TrainResult results[2];
+  const GradSyncMode modes[2] = {GradSyncMode::kBucketed,
+                                 GradSyncMode::kBucketedPriority};
+  for (int i = 0; i < 2; ++i) {
+    config.sync_mode = modes[i];
+    Cluster cluster(p, CostModel::Ethernet());
+    results[i] = TrainDistributed(cluster, *dataset, spec.model_factory,
+                                  SparseFactory("spardl", p, 0.05), config);
+    EXPECT_TRUE(results[i].replicas_consistent)
+        << GradSyncModeName(modes[i]);
+    EXPECT_LT(results[i].epochs.back().train_loss,
+              results[i].epochs.front().train_loss * 0.9);
+    EXPECT_GT(results[i].epochs.back().test_metric, 0.5);
+  }
+  EXPECT_EQ(results[0].final_param_checksum, results[1].final_param_checksum);
+  EXPECT_EQ(results[0].epochs.back().train_loss,
+            results[1].epochs.back().train_loss);
+}
+
+// With free communication, the bucketed schedule's simulated clock is
+// pure compute: the per-layer slices must add back up to the configured
+// per-iteration constant (coherent comm/compute accounting).
+TEST(TrainerOverlapTest, BucketedAccountingReflectsComputeCharge) {
+  const int p = 2;
+  const TrainingCaseSpec spec = MakeTrainingCase("vgg11");
+  auto dataset = spec.dataset_factory();
+  TrainerConfig config = spec.default_config;
+  config.epochs = 2;
+  config.iterations_per_epoch = 5;
+  config.compute_seconds_per_iteration = 1.0;
+  config.sync_mode = GradSyncMode::kBucketed;
+
+  Cluster cluster(p, CostModel::Free());
+  const TrainResult result =
+      TrainDistributed(cluster, *dataset, spec.model_factory,
+                       SparseFactory("spardl", p, 0.05), config);
+  EXPECT_TRUE(result.replicas_consistent);
+  EXPECT_NEAR(result.epochs.back().compute_seconds_epoch, 5.0, 1e-6);
+  EXPECT_NEAR(result.epochs.back().sim_seconds_cumulative, 10.0, 1e-6);
+}
+
+TEST(TrainerOverlapTest, ConfigValidateRejectsBadSettings) {
+  TrainerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.sync_mode = GradSyncMode::kBucketedPriority;
+  EXPECT_TRUE(config.Validate().ok());
+
+  TrainerConfig bad = config;
+  bad.epochs = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.iterations_per_epoch = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.compute_seconds_per_iteration = -0.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.backward_fraction = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.backward_fraction = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.layer_compute_fractions = {0.5, -0.1};
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.layer_compute_fractions = {0.0, 0.0};
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.layer_compute_fractions = {0.6, 0.4};
+  EXPECT_TRUE(bad.Validate().ok());
+}
+
 TEST(TrainerTest, SparsityHurtsNothingAtKEqualsN) {
   // k = n: sparse methods degenerate to exact dense sync, so the learning
   // curve must match the dense baseline's exactly (same seeds).

@@ -29,10 +29,40 @@ TEST(QuantizeTest, WireWordsShrinkWithBits) {
   EXPECT_EQ(QuantizedWireWords(100, 32), 200u);
   // 8-bit: 100 * (4 + 1) + 4 bytes = 504 -> 126 words.
   EXPECT_EQ(QuantizedWireWords(100, 8), 126u);
-  // 4-bit: 100 * 4.5 + 4 = 454 -> 114 words (value nibbles padded to a
-  // byte here; a production encoder would pack pairs).
+  // 4-bit: 100 * 4 index bytes + 50 packed value bytes + 4 = 454 -> 114
+  // words. (A regression here once charged `bits / 8 == 0` value bytes,
+  // shipping 4-bit values for free.)
+  EXPECT_EQ(QuantizedWireWords(100, 4), 114u);
   EXPECT_LT(QuantizedWireWords(100, 4), QuantizedWireWords(100, 8));
   EXPECT_LT(QuantizedWireWords(100, 8), QuantizedWireWords(100, 16));
+}
+
+TEST(QuantizeTest, WireWordsWidthSweep) {
+  // words = ceil((4*entries + ceil(entries*bits/8) + 4) / 4) for bits < 32;
+  // bits == 32 ships raw 2-word COO entries with no scale word.
+  struct Case {
+    size_t entries;
+    int bits;
+    size_t words;
+  };
+  constexpr Case kCases[] = {
+      {0, 4, 1},      {0, 8, 1},      {0, 16, 1},      {0, 32, 0},
+      {1, 4, 3},      {1, 8, 3},      {1, 16, 3},      {1, 32, 2},
+      {3, 4, 5},      {3, 8, 5},      {3, 16, 6},      {3, 32, 6},
+      {7, 4, 9},      {7, 8, 10},     {7, 16, 12},     {7, 32, 14},
+      {100, 4, 114},  {100, 8, 126},  {100, 16, 151},  {100, 32, 200},
+      {101, 4, 115},  {101, 8, 128},  {101, 16, 153},  {101, 32, 202},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(QuantizedWireWords(c.entries, c.bits), c.words)
+        << "entries=" << c.entries << " bits=" << c.bits;
+  }
+  // Sub-byte widths must still charge for their values: strictly more
+  // than an index-plus-scale-only message.
+  for (size_t entries : {1u, 7u, 101u}) {
+    EXPECT_GT(QuantizedWireWords(entries, 4), (entries * 4 + 4 + 3) / 4)
+        << "entries=" << entries;
+  }
 }
 
 TEST(QuantizeTest, ThirtyTwoBitsIsIdentity) {
