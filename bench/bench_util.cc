@@ -1,11 +1,14 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
+#include "metrics/table.h"
+#include "obs/exporters.h"
 
 namespace spardl {
 namespace bench {
@@ -14,9 +17,36 @@ namespace {
 
 constexpr const char* kFlagHelp =
     "(supported flags: --workers N, --iterations N, --topology SPEC, "
-    "--engine busy|event, --placement contiguous|rack|interleaved; env "
+    "--engine busy|event, --placement contiguous|rack|interleaved, "
+    "--trace-out PATH, --metrics-out PATH, --metrics-csv PATH; env "
     "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, "
-    "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT)";
+    "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT, SPARDL_BENCH_TRACE_OUT, "
+    "SPARDL_BENCH_METRICS_OUT, SPARDL_BENCH_METRICS_CSV)";
+
+/// Process-global observability sinks, installed by `ParseHarnessArgs`.
+/// A plain static: bench mains are single-threaded at parse/observe time.
+struct ObsConfig {
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> metrics_csv;
+  std::vector<RunMetrics> runs;
+
+  bool enabled() const {
+    return trace_out.has_value() || metrics_out.has_value() ||
+           metrics_csv.has_value();
+  }
+};
+
+ObsConfig& GlobalObs() {
+  static ObsConfig config;
+  return config;
+}
+
+[[noreturn]] void DieWriteFailure(const std::string& path) {
+  std::fprintf(stderr, "failed to write '%s': %s\n", path.c_str(),
+               std::strerror(errno));
+  std::exit(1);
+}
 
 [[noreturn]] void DieBadValue(const char* what, const char* text) {
   std::fprintf(stderr, "bad value '%s' for %s: want a positive integer %s\n",
@@ -119,6 +149,9 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   if (auto placement = EnvString("SPARDL_BENCH_PLACEMENT")) {
     args.placement = ParsePlacementOrDie(*placement);
   }
+  args.trace_out = EnvString("SPARDL_BENCH_TRACE_OUT");
+  args.metrics_out = EnvString("SPARDL_BENCH_METRICS_OUT");
+  args.metrics_csv = EnvString("SPARDL_BENCH_METRICS_CSV");
   for (int i = 1; i < argc; ++i) {
     if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
       args.workers = *v;
@@ -130,12 +163,84 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.engine = ParseEngineOrDie(*v);
     } else if (auto v = MatchStringFlag("placement", argc, argv, &i)) {
       args.placement = ParsePlacementOrDie(*v);
+    } else if (auto v = MatchStringFlag("trace-out", argc, argv, &i)) {
+      args.trace_out = *v;
+    } else if (auto v = MatchStringFlag("metrics-out", argc, argv, &i)) {
+      args.metrics_out = *v;
+    } else if (auto v = MatchStringFlag("metrics-csv", argc, argv, &i)) {
+      args.metrics_csv = *v;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s' %s\n", argv[i], kFlagHelp);
       std::exit(2);
     }
   }
+  ObsConfig& obs = GlobalObs();
+  obs.trace_out = args.trace_out;
+  obs.metrics_out = args.metrics_out;
+  obs.metrics_csv = args.metrics_csv;
   return args;
+}
+
+bool ObservabilityEnabled() { return GlobalObs().enabled(); }
+
+void MaybeEnableTracing(Cluster& cluster) {
+  if (ObservabilityEnabled()) cluster.EnableTracing();
+}
+
+namespace {
+
+/// Per-run numeric series for the CSV sink: one column per metric, one
+/// row per observed run (run order matches the metrics JSON).
+void WriteMetricsCsvOrDie(const std::string& path,
+                          const std::vector<RunMetrics>& runs) {
+  std::vector<std::string> names = {"makespan_seconds", "comm_seconds",
+                                    "compute_seconds", "busiest_link_util"};
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    if (phase == Phase::kLink || phase == Phase::kNumPhases) continue;
+    names.push_back("phase_" + std::string(PhaseName(phase)) + "_seconds");
+  }
+  std::vector<std::vector<double>> columns(names.size());
+  for (const RunMetrics& run : runs) {
+    size_t c = 0;
+    columns[c++].push_back(run.makespan_seconds);
+    columns[c++].push_back(run.total.comm_seconds);
+    columns[c++].push_back(run.total.compute_seconds);
+    columns[c++].push_back(run.links.empty() ? 0.0
+                                             : run.links[0].utilization);
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      const Phase phase = static_cast<Phase>(i);
+      if (phase == Phase::kLink || phase == Phase::kNumPhases) continue;
+      columns[c++].push_back(run.total.phase_seconds[i]);
+    }
+  }
+  if (!WriteCsv(path, names, columns)) DieWriteFailure(path);
+}
+
+}  // namespace
+
+void ObserveRun(Cluster& cluster, const std::string& label) {
+  ObsConfig& obs = GlobalObs();
+  if (!obs.enabled()) return;
+  obs.runs.push_back(CollectRunMetrics(cluster, label));
+  const RunMetrics& run = obs.runs.back();
+  if (obs.trace_out.has_value() &&
+      !WriteTextFile(*obs.trace_out, ChromeTraceJson(cluster))) {
+    DieWriteFailure(*obs.trace_out);
+  }
+  if (obs.metrics_out.has_value() &&
+      !WriteTextFile(*obs.metrics_out, RunMetricsJson(obs.runs))) {
+    DieWriteFailure(*obs.metrics_out);
+  }
+  if (obs.metrics_csv.has_value()) {
+    WriteMetricsCsvOrDie(*obs.metrics_csv, obs.runs);
+  }
+  std::printf("[obs] run %zu '%s' on %s (%s): makespan %.6fs\n",
+              obs.runs.size(), label.c_str(), run.topology.c_str(),
+              run.engine.c_str(), run.makespan_seconds);
+  if (!run.links.empty()) {
+    std::printf("%s", LinkUtilizationTable(run, /*top_n=*/3).c_str());
+  }
 }
 
 std::vector<TopologySpec> DefaultFabricSweep(int num_workers,
@@ -219,6 +324,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   config.placement = std::move(*placement);
 
   Cluster cluster(fabric);
+  MaybeEnableTracing(cluster);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {
@@ -257,6 +363,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   result.comm_seconds = comm_seconds / iters;
   result.words_per_update = static_cast<double>(words) / iters;
   result.messages_per_update = static_cast<double>(messages) / iters;
+  ObserveRun(cluster, result.algo_label);
   return result;
 }
 

@@ -111,10 +111,12 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
   };
 
   Cluster cluster(fabric);
+  MaybeEnableTracing(cluster);
   const TrainResult result = TrainDistributed(
       cluster, *dataset, spec.model_factory, algorithm_factory, config);
   SPARDL_CHECK(result.replicas_consistent)
       << label << ": replicas diverged";
+  ObserveRun(cluster, label);
 
   ConvergenceSeries series;
   series.label = label;

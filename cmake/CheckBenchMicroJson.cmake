@@ -1,6 +1,7 @@
 # Tiny perf-artifact checker: fails if BENCH_micro.json is missing, not
-# valid JSON, carries the wrong schema, or has an empty/non-positive
-# "latest" section. Input: -DJSON_FILE=<path>.
+# valid JSON, carries the wrong schema, has an empty/non-positive
+# "latest" section, or has a malformed per-commit "history" array.
+# Input: -DJSON_FILE=<path>.
 
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "CheckBenchMicroJson.cmake needs -DJSON_FILE=...")
@@ -15,28 +16,54 @@ if(content STREQUAL "")
 endif()
 
 string(JSON schema ERROR_VARIABLE err GET "${content}" schema)
-if(err OR NOT schema STREQUAL "spardl-bench-micro/1")
+if(err OR NOT schema STREQUAL "spardl-bench-micro/2")
   message(FATAL_ERROR
     "${JSON_FILE} malformed: bad schema '${schema}' (${err})")
 endif()
 
-string(JSON n ERROR_VARIABLE err LENGTH "${content}" latest)
-if(err OR n EQUAL 0)
-  message(FATAL_ERROR "${JSON_FILE} has no 'latest' benchmarks (${err})")
-endif()
-
-math(EXPR last "${n} - 1")
-foreach(i RANGE 0 ${last})
-  string(JSON name ERROR_VARIABLE err MEMBER "${content}" latest ${i})
-  if(err)
-    message(FATAL_ERROR "${JSON_FILE} latest[${i}] unreadable: ${err}")
-  endif()
-  string(JSON ips ERROR_VARIABLE err GET "${content}" latest "${name}")
-  # Positive decimal or scientific-notation number (CMake's numeric
-  # comparisons don't parse exponents, so validate the shape by regex).
-  if(err OR NOT ips MATCHES "^[0-9.]+([eE][-+]?[0-9]+)?$" OR ips MATCHES "^0+(\\.0*)?$")
+# Positive decimal or scientific-notation number (CMake's numeric
+# comparisons don't parse exponents, so validate the shape by regex).
+function(check_benchmarks_positive path_label)
+  string(JSON n ERROR_VARIABLE err LENGTH "${content}" ${ARGN})
+  if(err OR n EQUAL 0)
     message(FATAL_ERROR
-      "${JSON_FILE} latest['${name}'] = '${ips}' is not positive (${err})")
+      "${JSON_FILE} has no '${path_label}' benchmarks (${err})")
   endif()
+  math(EXPR last "${n} - 1")
+  foreach(i RANGE 0 ${last})
+    string(JSON name ERROR_VARIABLE err MEMBER "${content}" ${ARGN} ${i})
+    if(err)
+      message(FATAL_ERROR
+        "${JSON_FILE} ${path_label}[${i}] unreadable: ${err}")
+    endif()
+    string(JSON ips ERROR_VARIABLE err GET "${content}" ${ARGN} "${name}")
+    if(err OR NOT ips MATCHES "^[0-9.]+([eE][-+]?[0-9]+)?$"
+       OR ips MATCHES "^0+(\\.0*)?$")
+      message(FATAL_ERROR
+        "${JSON_FILE} ${path_label}['${name}'] = '${ips}' is not positive "
+        "(${err})")
+    endif()
+  endforeach()
+  set(checked_count ${n} PARENT_SCOPE)
+endfunction()
+
+check_benchmarks_positive("latest" latest)
+set(n_latest ${checked_count})
+
+string(JSON n_history ERROR_VARIABLE err LENGTH "${content}" history)
+if(err OR n_history EQUAL 0)
+  message(FATAL_ERROR "${JSON_FILE} has no 'history' entries (${err})")
+endif()
+math(EXPR last_entry "${n_history} - 1")
+foreach(i RANGE 0 ${last_entry})
+  string(JSON commit ERROR_VARIABLE err GET "${content}" history ${i} commit)
+  if(err OR commit STREQUAL "")
+    message(FATAL_ERROR
+      "${JSON_FILE} history[${i}] has no commit key (${err})")
+  endif()
+  check_benchmarks_positive("history[${i}].benchmarks"
+    history ${i} benchmarks)
 endforeach()
-message(STATUS "${JSON_FILE}: ${n} benchmark entries OK")
+
+message(STATUS "${JSON_FILE}: ${n_latest} benchmark entries, "
+  "${n_history} history commits OK")

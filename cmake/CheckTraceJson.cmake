@@ -1,0 +1,57 @@
+# Trace-artifact checker for the smoke tier: fails if the Chrome trace
+# written by --trace-out is missing, empty, not valid JSON, or carries no
+# events — and, when a metrics sink was also requested, if that JSON has
+# no recorded runs. Keeps "the bench silently wrote an empty trace" from
+# passing CI.
+#
+# Inputs: -DTRACE_JSON=<path> [-DMETRICS_JSON=<path>]
+
+if(NOT DEFINED TRACE_JSON)
+  message(FATAL_ERROR "CheckTraceJson.cmake needs -DTRACE_JSON=...")
+endif()
+if(NOT EXISTS "${TRACE_JSON}")
+  message(FATAL_ERROR "${TRACE_JSON} does not exist")
+endif()
+
+file(READ "${TRACE_JSON}" trace)
+if(trace STREQUAL "")
+  message(FATAL_ERROR "${TRACE_JSON} is empty")
+endif()
+
+string(JSON n_events ERROR_VARIABLE err LENGTH "${trace}" traceEvents)
+if(err)
+  message(FATAL_ERROR "${TRACE_JSON} malformed: ${err}")
+endif()
+if(n_events EQUAL 0)
+  message(FATAL_ERROR "${TRACE_JSON} has no traceEvents")
+endif()
+
+# Spot-check event shape on the first and last events: every Chrome trace
+# event needs a "ph" type tag.
+math(EXPR last "${n_events} - 1")
+foreach(i 0 ${last})
+  string(JSON ph ERROR_VARIABLE err GET "${trace}" traceEvents ${i} ph)
+  if(err OR ph STREQUAL "")
+    message(FATAL_ERROR
+      "${TRACE_JSON} traceEvents[${i}] has no 'ph' tag (${err})")
+  endif()
+endforeach()
+
+set(metrics_note "")
+if(DEFINED METRICS_JSON)
+  if(NOT EXISTS "${METRICS_JSON}")
+    message(FATAL_ERROR "${METRICS_JSON} does not exist")
+  endif()
+  file(READ "${METRICS_JSON}" metrics)
+  string(JSON n_runs ERROR_VARIABLE err LENGTH "${metrics}" runs)
+  if(err)
+    message(FATAL_ERROR "${METRICS_JSON} malformed: ${err}")
+  endif()
+  if(n_runs EQUAL 0)
+    message(FATAL_ERROR "${METRICS_JSON} recorded no runs")
+  endif()
+  set(metrics_note ", ${n_runs} metric runs")
+endif()
+
+message(STATUS
+  "${TRACE_JSON}: ${n_events} trace events OK${metrics_note}")

@@ -1,7 +1,10 @@
-# Runs bench_micro_primitives in JSON mode and refreshes the "latest"
-# section of BENCH_micro.json at the repo root — the committed perf
-# trajectory. The "baseline" section (the pre-optimisation numbers) is
-# preserved verbatim so before/after stays in one artifact.
+# Runs bench_micro_primitives in JSON mode and refreshes BENCH_micro.json
+# at the repo root — the committed perf trajectory. The "baseline" section
+# (the pre-optimisation numbers) is preserved verbatim, "latest" always
+# mirrors this run, and every run is appended to a per-commit "history"
+# array (replacing the last entry when HEAD hasn't moved, so re-runs on
+# one commit don't spam the trajectory). A v1 artifact's "latest" is
+# migrated into the first history entry.
 #
 # Inputs: -DBENCH_BIN=<path> -DOUT_JSON=<path> -DWORK_DIR=<dir>
 # Env:    SPARDL_BENCH_MIN_TIME (seconds per benchmark, default 0.05 —
@@ -50,6 +53,19 @@ foreach(i RANGE 0 ${last})
   endif()
 endforeach()
 
+# The history key: HEAD's short hash of the repo holding OUT_JSON
+# (detached CI checkouts still resolve; "unknown" outside any repo).
+get_filename_component(repo_dir "${OUT_JSON}" DIRECTORY)
+execute_process(
+  COMMAND git -C "${repo_dir}" rev-parse --short HEAD
+  RESULT_VARIABLE git_result
+  OUTPUT_VARIABLE commit
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT git_result EQUAL 0 OR commit STREQUAL "")
+  set(commit "unknown")
+endif()
+
 # Merge into the committed artifact, preserving the baseline section.
 set(out "{}")
 if(EXISTS "${OUT_JSON}")
@@ -59,12 +75,43 @@ if(EXISTS "${OUT_JSON}")
     set(out "{}")
   endif()
 endif()
-string(JSON out SET "${out}" schema "\"spardl-bench-micro/1\"")
-string(JSON out SET "${out}" unit "\"items_per_second\"")
 string(JSON baseline ERROR_VARIABLE baseline_err GET "${out}" baseline)
 if(baseline_err)
   string(JSON out SET "${out}" baseline "null")
 endif()
+
+# History: migrate a v1 artifact's "latest" into the first entry, then
+# append this run (or replace the last entry when HEAD hasn't moved).
+string(JSON history ERROR_VARIABLE history_err GET "${out}" history)
+if(history_err)
+  set(history "[]")
+  string(JSON old_latest ERROR_VARIABLE old_latest_err GET "${out}" latest)
+  string(JSON old_schema ERROR_VARIABLE old_schema_err GET "${out}" schema)
+  if(NOT old_latest_err AND NOT old_schema_err
+     AND old_schema STREQUAL "spardl-bench-micro/1")
+    string(JSON history SET "${history}" 0
+      "{\"commit\":\"pre-v2\",\"benchmarks\":${old_latest}}")
+  endif()
+endif()
+string(JSON entry SET "{}" commit "\"${commit}\"")
+string(JSON entry SET "${entry}" benchmarks "${latest}")
+string(JSON n_history LENGTH "${history}")
+set(slot ${n_history})
+if(n_history GREATER 0)
+  math(EXPR last_entry "${n_history} - 1")
+  string(JSON last_commit ERROR_VARIABLE last_commit_err
+    GET "${history}" ${last_entry} commit)
+  if(NOT last_commit_err AND last_commit STREQUAL "${commit}")
+    set(slot ${last_entry})
+  endif()
+endif()
+string(JSON history SET "${history}" ${slot} "${entry}")
+
+string(JSON out SET "${out}" schema "\"spardl-bench-micro/2\"")
+string(JSON out SET "${out}" unit "\"items_per_second\"")
 string(JSON out SET "${out}" latest "${latest}")
+string(JSON out SET "${out}" history "${history}")
 file(WRITE "${OUT_JSON}" "${out}\n")
-message(STATUS "Wrote ${n_benchmarks} benchmark entries to ${OUT_JSON}")
+string(JSON n_history LENGTH "${history}")
+message(STATUS "Wrote ${n_benchmarks} benchmark entries to ${OUT_JSON} "
+  "(history: ${n_history} commits, HEAD ${commit})")

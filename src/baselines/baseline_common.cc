@@ -43,18 +43,40 @@ SparseVector BaselineBase::Run(Comm& comm, std::span<float> grad) {
   SPARDL_CHECK_EQ(grad.size(), config_.n);
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
   residuals_.ApplyAndReset(grad);
-  SparseVector local = LocalSelectDense(grad);
-  SparseVector final_gradient = Core(comm, std::move(local));
-  residuals_.FinishIteration(final_gradient);
+  SparseVector local;
+  {
+    TraceScope scope(comm, Phase::kSparsify, "local-select");
+    local = LocalSelectDense(grad);
+  }
+  SparseVector final_gradient;
+  {
+    TraceScope scope(comm, Phase::kCollective, "baseline-core");
+    final_gradient = Core(comm, std::move(local));
+  }
+  {
+    TraceScope scope(comm, Phase::kResidual, "residual-update");
+    residuals_.FinishIteration(final_gradient);
+  }
   return final_gradient;
 }
 
 SparseVector BaselineBase::RunOnSparse(Comm& comm,
                                        const SparseVector& candidates) {
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
-  SparseVector local = LocalSelectSparse(candidates);
-  SparseVector final_gradient = Core(comm, std::move(local));
-  residuals_.FinishIteration(final_gradient);
+  SparseVector local;
+  {
+    TraceScope scope(comm, Phase::kSparsify, "local-select");
+    local = LocalSelectSparse(candidates);
+  }
+  SparseVector final_gradient;
+  {
+    TraceScope scope(comm, Phase::kCollective, "baseline-core");
+    final_gradient = Core(comm, std::move(local));
+  }
+  {
+    TraceScope scope(comm, Phase::kResidual, "residual-update");
+    residuals_.FinishIteration(final_gradient);
+  }
   return final_gradient;
 }
 

@@ -18,6 +18,9 @@ std::vector<SparseVector> BruckAllGather(Comm& comm, const CommGroup& group,
   local.reserve(static_cast<size_t>(group_size));
   local.push_back(std::move(mine));
   for (int step = 0; (1 << step) < group_size; ++step) {
+    // Keeps the ambient phase: Bruck runs under B-SAG (kSag) and under the
+    // final intra-team gather (kAllGather); the span just marks the step.
+    TraceScope scope(comm, comm.phase(), "bruck-step", step);
     const int distance = 1 << step;
     const int send_count =
         std::min(distance, group_size - distance);

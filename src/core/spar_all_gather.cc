@@ -21,6 +21,7 @@ SparseVector RSag(Comm& comm, const CommGroup& cross_team_group,
   SparseVector scratch;
   int step_index = 0;
   for (int distance = 1; distance < d; distance *= 2) {
+    TraceScope scope(comm, Phase::kSag, "rsag-round", step_index);
     const int peer = cross_team_group.GlobalRank(pos ^ distance);
     SparseVector incoming =
         comm.ExchangeAs<SparseVector>(peer, peer, Payload(block));

@@ -37,10 +37,12 @@ class SrsEngine {
   SparseVector Run() {
     const int steps = layout_.num_steps();
     for (int step = 1; step <= steps; ++step) {
+      TraceScope step_scope(comm_, Phase::kSrs, "srs-step", step);
       const int bag = layout_.BagForStep(step);
       const std::vector<int>& outgoing_blocks = layout_.Bag(bag);
       if (options_.lazy_sparsify) {
         // Only the blocks about to leave get re-sparsified.
+        TraceScope scope(comm_, Phase::kSparsify, "resparsify", step);
         for (int b : outgoing_blocks) SparsifyBlock(b);
       }
       // Ship the bag (one message per step, blocks in bag order),
@@ -89,6 +91,7 @@ class SrsEngine {
       }
       if (!options_.lazy_sparsify) {
         // Eager variant: re-sparsify every remaining block after summation.
+        TraceScope scope(comm_, Phase::kSparsify, "resparsify", step);
         for (int b = 0; b < group_.size(); ++b) {
           if (held_[static_cast<size_t>(b)]) SparsifyBlock(b);
         }
@@ -145,13 +148,16 @@ SparseVector SparReduceScatter(Comm& comm, const CommGroup& group,
   const BlockPartition& partition = engine.partition();
   TopKSelector selector;
   SparseVector discarded;
-  for (int b = 0; b < group.size(); ++b) {
-    const GradIndex lo = partition.BlockStart(b);
-    const GradIndex hi = partition.BlockEnd(b);
-    selector.SelectDense(grad.subspan(lo, hi - lo), lo, engine.budget(),
-                         &engine.block_state()[static_cast<size_t>(b)],
-                         &discarded);
-    if (residuals != nullptr) residuals->AddLocalDiscard(discarded);
+  {
+    TraceScope scope(comm, Phase::kSparsify, "select-blocks");
+    for (int b = 0; b < group.size(); ++b) {
+      const GradIndex lo = partition.BlockStart(b);
+      const GradIndex hi = partition.BlockEnd(b);
+      selector.SelectDense(grad.subspan(lo, hi - lo), lo, engine.budget(),
+                           &engine.block_state()[static_cast<size_t>(b)],
+                           &discarded);
+      if (residuals != nullptr) residuals->AddLocalDiscard(discarded);
+    }
   }
   return engine.Run();
 }
@@ -166,14 +172,17 @@ SparseVector SparReduceScatterOnSparse(Comm& comm, const CommGroup& group,
   TopKSelector selector;
   SparseVector block_candidates;
   SparseVector discarded;
-  for (int b = 0; b < group.size(); ++b) {
-    block_candidates.Clear();
-    candidates.ExtractRange(partition.BlockStart(b), partition.BlockEnd(b),
-                            &block_candidates);
-    selector.SelectSparse(block_candidates, engine.budget(),
-                          &engine.block_state()[static_cast<size_t>(b)],
-                          &discarded);
-    if (residuals != nullptr) residuals->AddLocalDiscard(discarded);
+  {
+    TraceScope scope(comm, Phase::kSparsify, "select-blocks");
+    for (int b = 0; b < group.size(); ++b) {
+      block_candidates.Clear();
+      candidates.ExtractRange(partition.BlockStart(b), partition.BlockEnd(b),
+                              &block_candidates);
+      selector.SelectSparse(block_candidates, engine.budget(),
+                            &engine.block_state()[static_cast<size_t>(b)],
+                            &discarded);
+      if (residuals != nullptr) residuals->AddLocalDiscard(discarded);
+    }
   }
   return engine.Run();
 }

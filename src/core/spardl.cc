@@ -116,8 +116,10 @@ SparseVector SparDL::Synchronize(Comm& comm, SparseVector block) {
     const CommGroup cross = CommGroup::CrossTeam(comm, placement_);
     const size_t target_l = TargetL(config_);
     if (*resolved_sag_ == SagMode::kRecursive) {
+      TraceScope scope(comm, Phase::kSag, "rsag");
       block = RSag(comm, cross, std::move(block), target_l, &residuals_);
     } else {
+      TraceScope scope(comm, Phase::kSag, "bsag");
       block = BSag(comm, cross, std::move(block), target_l, &*adjuster_,
                    &residuals_, &last_bsag_union_);
     }
@@ -141,17 +143,24 @@ SparseVector SparDL::Synchronize(Comm& comm, SparseVector block) {
 
   // Final intra-team Bruck all-gather; blocks have disjoint ascending
   // ranges, so concatenation yields the global gradient.
-  std::vector<SparseVector> parts = BruckAllGather(
-      comm, team_group, std::move(block),
-      wire_cost.has_value() ? &*wire_cost : nullptr);
+  std::vector<SparseVector> parts;
+  {
+    TraceScope scope(comm, Phase::kAllGather, "allgather");
+    parts = BruckAllGather(comm, team_group, std::move(block),
+                           wire_cost.has_value() ? &*wire_cost : nullptr);
+  }
   SparseVector final_gradient = ConcatDisjoint(parts);
-  residuals_.FinishIteration(final_gradient);
+  {
+    TraceScope scope(comm, Phase::kResidual, "residual-update");
+    residuals_.FinishIteration(final_gradient);
+  }
   return final_gradient;
 }
 
 SparseVector SparDL::Run(Comm& comm, std::span<float> grad) {
   SPARDL_CHECK_EQ(grad.size(), config_.n);
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  TraceScope envelope(comm, Phase::kCollective, "spardl-allreduce");
   residuals_.ApplyAndReset(grad);
 
   const CommGroup team_group = CommGroup::Team(comm, placement_);
@@ -166,6 +175,7 @@ SparseVector SparDL::Run(Comm& comm, std::span<float> grad) {
 
 SparseVector SparDL::RunOnSparse(Comm& comm, const SparseVector& candidates) {
   SPARDL_CHECK_EQ(comm.size(), config_.num_workers);
+  TraceScope envelope(comm, Phase::kCollective, "spardl-allreduce");
   const CommGroup team_group = CommGroup::Team(comm, placement_);
   SrsOptions options;
   options.k = config_.k;

@@ -72,8 +72,19 @@ uint64_t EventEngine::PumpOneLocked() {
   // busy-until engine's per-hop loop.
   const LinkInfo link = topology_.link_info(id);
   const double serialize = link.beta * static_cast<double>(flow.words);
-  const double head_out =
-      links_[static_cast<size_t>(id)].Serve(event.time, link.alpha, serialize);
+  const uint64_t bytes = static_cast<uint64_t>(flow.words) * 4;
+  LinkServer& server = links_[static_cast<size_t>(id)];
+  const double start = std::max(event.time, server.busy_until());
+  const double head_out = server.Serve(event.time, link.alpha, serialize,
+                                       bytes);
+  if (trace_recorder_ != nullptr) {
+    // The flow key embeds (src*P + dst) in its upper half.
+    const int p = topology_.num_workers();
+    const auto pair = static_cast<int>(event.flow >> 32);
+    trace_recorder_->RecordLink(TraceSpan{id, kStreamLink, Phase::kLink,
+                                          "flow", pair / p, pair % p, start,
+                                          head_out + serialize, bytes});
+  }
   flow.bottleneck = std::max(flow.bottleneck, serialize);
   ++flow.hop;
   if (flow.hop < static_cast<int>(flow.path.size())) {
@@ -137,6 +148,17 @@ void EventEngine::Reset() {
 bool EventEngine::Idle() const {
   std::lock_guard<std::mutex> lock(mu_);
   return flows_.empty() && queue_.Empty() && resolved_.empty();
+}
+
+LinkUsage EventEngine::link_usage(LinkId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SPARDL_CHECK(id >= 0 && id < static_cast<int>(links_.size()));
+  return links_[static_cast<size_t>(id)].usage();
+}
+
+void EventEngine::set_trace_recorder(TraceRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_recorder_ = recorder;
 }
 
 }  // namespace spardl

@@ -69,19 +69,30 @@ class LinkServer {
   /// Serves one header arriving at `head_in`: the header leaves at
   /// `max(head_in, busy_until) + alpha` and the link stays occupied until
   /// the whole body (serialization `serialize`) has crossed. Returns the
-  /// header's departure time.
-  double Serve(double head_in, double alpha, double serialize) {
-    const double start = head_in > busy_until_ ? head_in : busy_until_;
+  /// header's departure time. `bytes` only feeds the usage counters.
+  double Serve(double head_in, double alpha, double serialize,
+               uint64_t bytes = 0) {
+    const double wait = busy_until_ > head_in ? busy_until_ - head_in : 0.0;
+    const double start = head_in + wait;
     const double head_out = start + alpha;
     busy_until_ = head_out + serialize;
+    usage_.busy_seconds += alpha + serialize;
+    usage_.bytes += bytes;
+    usage_.messages += 1;
+    if (wait > usage_.max_queue_seconds) usage_.max_queue_seconds = wait;
     return head_out;
   }
 
   double busy_until() const { return busy_until_; }
-  void Reset() { busy_until_ = 0.0; }
+  const LinkUsage& usage() const { return usage_; }
+  void Reset() {
+    busy_until_ = 0.0;
+    usage_ = LinkUsage{};
+  }
 
  private:
   double busy_until_ = 0.0;
+  LinkUsage usage_;
 };
 
 /// The simnet v3 deterministic discrete-event engine.
@@ -173,6 +184,14 @@ class EventEngine {
   /// invariant, checked by `Cluster::Run`).
   bool Idle() const;
 
+  /// Cumulative charge counters for one link. Thread-safe.
+  LinkUsage link_usage(LinkId id) const;
+
+  /// Attaches a span recorder: every pumped hop records one `kLink`
+  /// occupancy span, in the engine's deterministic `(time, flow key)`
+  /// order. Set while no worker threads run.
+  void set_trace_recorder(TraceRecorder* recorder);
+
  private:
   struct Sleeper {
     const std::function<bool()>* pred;
@@ -195,6 +214,7 @@ class EventEngine {
   int blocked_ = 0;  // threads currently inside BlockUntil
 
   EventQueue queue_;
+  TraceRecorder* trace_recorder_ = nullptr;
   std::vector<LinkServer> links_;                  // by LinkId
   std::vector<uint32_t> pair_seq_;                 // per (src, dst) pair
   std::unordered_map<uint64_t, Flow> flows_;       // in flight

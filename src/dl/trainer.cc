@@ -278,16 +278,32 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
         }
 
         // Forward pass, gated per layer on the previous iteration's
-        // bucket arrivals — the stall priority scheduling shrinks.
+        // bucket arrivals — the stall priority scheduling shrinks. The
+        // compute unit is its own stream, so its slices are recorded
+        // directly (no `TraceScope`: `comm`'s clock is not involved).
+        TraceRecorder* const tracer = comm.tracer();
         double t = compute_free;
         for (size_t b = 0; b < plan.spans.size(); ++b) {
-          t = std::max(t, bucket_finish[b]);
-          t += plan.forward_slice[b];
+          const double start = std::max(t, bucket_finish[b]);
+          t = start + plan.forward_slice[b];
+          if (tracer != nullptr) {
+            tracer->RecordWorker(
+                rank, TraceSpan{rank, kStreamCompute, Phase::kCompute,
+                                "forward", static_cast<int>(b), -1, start, t,
+                                0});
+          }
         }
         // Backward back-to-front stamps each bucket's ready instant.
         for (size_t b = plan.spans.size(); b-- > 0;) {
+          const double start = t;
           t += plan.backward_slice[b];
           bucket_ready[b] = t;
+          if (tracer != nullptr) {
+            tracer->RecordWorker(
+                rank, TraceSpan{rank, kStreamCompute, Phase::kCompute,
+                                "backward", static_cast<int>(b), -1, start,
+                                t, 0});
+          }
         }
         compute_free = t;
         comm.ChargeOverlappedCompute(config.compute_seconds_per_iteration);
@@ -296,6 +312,8 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
         // plan order; each launches no earlier than its ready instant.
         for (size_t b : plan.run_order) {
           comm.AdvanceClockTo(bucket_ready[b]);
+          TraceScope scope(comm, Phase::kBucket, "bucket",
+                           static_cast<int>(b));
           const ParamSpan& span = plan.spans[b];
           bucket_out[b] = bucket_algorithms[b]->Run(
               comm, model->grads().subspan(span.offset, span.count));

@@ -1,0 +1,21 @@
+#ifndef SPARDL_OBS_JSON_H_
+#define SPARDL_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace spardl {
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// Strict structural validation of one JSON document (objects, arrays,
+/// strings, numbers, true/false/null; trailing garbage rejected). A
+/// dependency-free checker so the exporters' output can be verified in
+/// tests and tools without a JSON library in the image.
+bool IsValidJson(std::string_view text);
+
+}  // namespace spardl
+
+#endif  // SPARDL_OBS_JSON_H_

@@ -1,0 +1,52 @@
+#include "obs/trace.h"
+
+namespace spardl {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kUntagged:
+      return "untagged";
+    case Phase::kSparsify:
+      return "sparsify";
+    case Phase::kSrs:
+      return "srs";
+    case Phase::kSag:
+      return "sag";
+    case Phase::kAllGather:
+      return "allgather";
+    case Phase::kResidual:
+      return "residual";
+    case Phase::kCollective:
+      return "collective";
+    case Phase::kBucket:
+      return "bucket";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kBarrier:
+      return "barrier";
+    case Phase::kOverlapIdle:
+      return "overlap-idle";
+    case Phase::kLink:
+      return "link";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(int num_workers) {
+  worker_spans_.resize(static_cast<size_t>(num_workers));
+}
+
+size_t TraceRecorder::TotalSpans() const {
+  size_t total = link_spans_.size();
+  for (const auto& spans : worker_spans_) total += spans.size();
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  for (auto& spans : worker_spans_) spans.clear();
+  link_spans_.clear();
+}
+
+}  // namespace spardl

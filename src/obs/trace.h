@@ -1,0 +1,111 @@
+#ifndef SPARDL_OBS_TRACE_H_
+#define SPARDL_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace spardl {
+
+/// Phase tag for simulated-time attribution. Every `Comm` carries a
+/// current phase (maintained by `TraceScope`, zero-cost: one enum write);
+/// `Recv` charges its wait into the matching `CommStats::phase_seconds`
+/// bucket, so the breakdown survives even with tracing disabled.
+///
+/// The first block of tags (up to and including `kBucket`) partitions
+/// `comm_seconds`; `kCompute` mirrors `compute_seconds`; `kBarrier` and
+/// `kOverlapIdle` are waits charged to neither; `kLink` marks per-link
+/// occupancy spans (fabric tracks, not worker time).
+enum class Phase : uint8_t {
+  kUntagged = 0,  // Recv outside any scope
+  kSparsify,      // top-k selection / re-sparsification
+  kSrs,           // Spar-Reduce-Scatter transmission steps
+  kSag,           // inter-team R-SAG / B-SAG rounds
+  kAllGather,     // final intra-team all-gather
+  kResidual,      // residual-store update
+  kCollective,    // whole-collective envelope (baseline core, allreduce)
+  kBucket,        // one gradient bucket's collective (overlap trainer)
+  kCompute,       // Comm::Compute (forward/backward slices)
+  kBarrier,       // BarrierSyncClocks alignment wait
+  kOverlapIdle,   // AdvanceClockTo stall (comm stream waiting on a bucket)
+  kLink,          // per-link occupancy (fabric tracks)
+  kNumPhases,
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kNumPhases);
+
+std::string_view PhaseName(Phase phase);
+
+/// True for the tags that partition `CommStats::comm_seconds` (everything
+/// a `Recv` can be charged under).
+constexpr bool IsCommPhase(Phase phase) {
+  return phase < Phase::kCompute;
+}
+
+/// Which virtual track of a worker a span belongs to. The nesting
+/// invariant (spans nest, never partially overlap) holds per
+/// (track, stream): the overlap trainer's compute slices legitimately run
+/// concurrently with the communication stream.
+inline constexpr uint8_t kStreamMain = 0;     // communication / algorithm
+inline constexpr uint8_t kStreamCompute = 1;  // overlapped compute slices
+inline constexpr uint8_t kStreamLink = 2;     // fabric link occupancy
+
+/// One recorded interval in *simulated* time. `name` must be a string
+/// literal (static storage) — recording never allocates; display names are
+/// composed at export time from `name` and the small-int args `a`/`b`
+/// (step index, bucket index, or peer/endpoint ranks, -1 = unused).
+struct TraceSpan {
+  int track = 0;  // worker rank, or LinkId for kStreamLink
+  uint8_t stream = kStreamMain;
+  Phase phase = Phase::kUntagged;
+  const char* name = "";
+  int a = -1;
+  int b = -1;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  uint64_t bytes = 0;
+};
+
+/// Per-cluster span storage. Off by default (`Cluster::EnableTracing`
+/// creates one); every record site is gated on a null check, so the
+/// disabled path costs one branch and zero allocations.
+///
+/// Thread safety: `RecordWorker(w, ...)` appends to worker `w`'s own
+/// vector and must only be called from the thread running that worker
+/// (the SPMD ownership the whole simulator is built on). `RecordLink` is
+/// called from whichever thread is charging the fabric and must hold that
+/// engine's mutex (the topology charge mutex or the event-engine mutex —
+/// exactly one is active per network). `Clear` requires no workers
+/// running.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int num_workers);
+
+  int num_workers() const { return static_cast<int>(worker_spans_.size()); }
+
+  void RecordWorker(int worker, const TraceSpan& span) {
+    worker_spans_[static_cast<size_t>(worker)].push_back(span);
+  }
+
+  void RecordLink(const TraceSpan& span) { link_spans_.push_back(span); }
+
+  const std::vector<TraceSpan>& worker_spans(int worker) const {
+    return worker_spans_[static_cast<size_t>(worker)];
+  }
+  const std::vector<TraceSpan>& link_spans() const { return link_spans_; }
+
+  size_t TotalSpans() const;
+
+  /// Drops all spans (capacity retained). Call between measured phases,
+  /// in lockstep with `Cluster::ResetClocksAndStats`.
+  void Clear();
+
+ private:
+  std::vector<std::vector<TraceSpan>> worker_spans_;
+  std::vector<TraceSpan> link_spans_;
+};
+
+}  // namespace spardl
+
+#endif  // SPARDL_OBS_TRACE_H_

@@ -54,6 +54,15 @@ void Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
       << "worker function left unresolved flows in the event engine";
 }
 
+TraceRecorder& Cluster::EnableTracing() {
+  if (!trace_recorder_) {
+    trace_recorder_ = std::make_unique<TraceRecorder>(size());
+    for (auto& comm : comms_) comm->set_tracer(trace_recorder_.get());
+    network_->AttachTraceRecorder(trace_recorder_.get());
+  }
+  return *trace_recorder_;
+}
+
 double Cluster::MaxSimSeconds() const {
   double max_t = 0.0;
   for (const auto& comm : comms_) {
@@ -93,6 +102,8 @@ void Cluster::ResetClocksAndStats() {
   // worker clocks, or leftover warm-up occupancy would delay post-reset
   // flows.
   network_->ResetSimState();
+  // Warm-up spans would otherwise leak into the measured trace.
+  if (trace_recorder_) trace_recorder_->Clear();
 }
 
 }  // namespace spardl

@@ -39,12 +39,25 @@ class Cluster {
 
   int size() const { return static_cast<int>(comms_.size()); }
   Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
   Topology& topology() { return network_->topology(); }
+  const Topology& topology() const { return network_->topology(); }
 
   Comm& comm(int rank) { return *comms_[static_cast<size_t>(rank)]; }
   const Comm& comm(int rank) const {
     return *comms_[static_cast<size_t>(rank)];
   }
+
+  /// One worker's counters (the per-worker view of `TotalStats`).
+  const CommStats& WorkerStats(int rank) const { return comm(rank).stats(); }
+
+  /// Turns on span recording for this cluster (idempotent; off by
+  /// default). Call between runs, not while workers execute. Spans
+  /// accumulate across `Run` calls until `ResetClocksAndStats`.
+  TraceRecorder& EnableTracing();
+
+  /// The attached recorder, or null when tracing is off.
+  TraceRecorder* tracer() const { return trace_recorder_.get(); }
 
   /// Runs `worker_fn(comm)` on every rank concurrently; returns when all
   /// workers finish. CHECK failures inside workers abort the process.
@@ -62,8 +75,9 @@ class Cluster {
   /// Max per-worker received-messages (the paper's per-worker latency x).
   uint64_t MaxMessagesReceived() const;
 
-  /// Zeroes all clocks and stats, including the topology's per-link busy
-  /// clocks (between measured phases).
+  /// Zeroes all clocks and stats — the topology's per-link busy clocks
+  /// and usage counters, and any recorded trace spans (between measured
+  /// phases).
   void ResetClocksAndStats();
 
  private:
@@ -71,6 +85,7 @@ class Cluster {
 
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Comm>> comms_;
+  std::unique_ptr<TraceRecorder> trace_recorder_;
 };
 
 }  // namespace spardl

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "simnet/comm_stats.h"
 #include "simnet/network.h"
 #include "topo/placement.h"
@@ -50,6 +51,15 @@ class Comm {
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
 
+  /// The span recorder attached by `Cluster::EnableTracing` (null = off,
+  /// the default; every record site is gated on this pointer).
+  TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// The phase tag `Recv` charges its wait under right now (maintained by
+  /// `TraceScope`, always — the breakdown survives with tracing off).
+  Phase phase() const { return phase_; }
+
   /// Sends `payload` to `dst`. Never blocks. `words_override`, when
   /// non-zero, replaces the payload's natural wire size — used to model
   /// alternative encodings (e.g. TopkDSA shipping a densified block as
@@ -61,6 +71,11 @@ class Comm {
         words_override != 0 ? words_override : PayloadWords(payload);
     stats_.messages_sent += 1;
     stats_.words_sent += words;
+    if (tracer_ != nullptr) {
+      tracer_->RecordWorker(
+          rank_, TraceSpan{rank_, kStreamMain, phase_, "send", dst, -1,
+                           sim_now_, sim_now_, words * sizeof(float)});
+    }
     network_->Post(rank_, dst,
                    Packet{std::move(payload), words, sim_now_, tag});
   }
@@ -79,6 +94,13 @@ class Comm {
     stats_.messages_received += 1;
     stats_.words_received += delivered.packet.words;
     stats_.comm_seconds += sim_now_ - before;
+    stats_.phase_seconds[static_cast<size_t>(phase_)] += sim_now_ - before;
+    if (tracer_ != nullptr) {
+      tracer_->RecordWorker(
+          rank_, TraceSpan{rank_, kStreamMain, phase_, "recv", src, -1,
+                           before, sim_now_,
+                           delivered.packet.words * sizeof(float)});
+    }
     return std::move(delivered.packet.payload);
   }
 
@@ -102,8 +124,15 @@ class Comm {
   /// Charges `seconds` of local computation to the simulated clock.
   void Compute(double seconds) {
     SPARDL_DCHECK(seconds >= 0.0);
+    const double before = sim_now_;
     sim_now_ += seconds;
     stats_.compute_seconds += seconds;
+    stats_.phase_seconds[static_cast<size_t>(Phase::kCompute)] += seconds;
+    if (tracer_ != nullptr) {
+      tracer_->RecordWorker(
+          rank_, TraceSpan{rank_, kStreamMain, Phase::kCompute, "compute",
+                           -1, -1, before, sim_now_, 0});
+    }
   }
 
   /// Advance-only clock move: waits (idle) until simulated time `t`,
@@ -113,7 +142,16 @@ class Comm {
   /// send timestamps stay monotonic per worker (the event engine's safety
   /// assumption).
   void AdvanceClockTo(double t) {
-    if (t > sim_now_) sim_now_ = t;
+    if (t <= sim_now_) return;
+    const double before = sim_now_;
+    sim_now_ = t;
+    stats_.phase_seconds[static_cast<size_t>(Phase::kOverlapIdle)] +=
+        sim_now_ - before;
+    if (tracer_ != nullptr) {
+      tracer_->RecordWorker(
+          rank_, TraceSpan{rank_, kStreamMain, Phase::kOverlapIdle, "idle",
+                           -1, -1, before, sim_now_, 0});
+    }
   }
 
   /// Accounts `seconds` of computation that overlaps communication: the
@@ -124,6 +162,7 @@ class Comm {
   void ChargeOverlappedCompute(double seconds) {
     SPARDL_DCHECK(seconds >= 0.0);
     stats_.compute_seconds += seconds;
+    stats_.phase_seconds[static_cast<size_t>(Phase::kCompute)] += seconds;
   }
 
   /// Rendezvous with all workers (no simulated-time effect).
@@ -132,18 +171,79 @@ class Comm {
   /// Rendezvous and align every worker's clock to the cluster-wide max —
   /// the synchronisation point at the end of an S-SGD iteration.
   void BarrierSyncClocks() {
+    const double before = sim_now_;
     sim_now_ = network_->MaxClockSync(rank_, sim_now_);
+    stats_.phase_seconds[static_cast<size_t>(Phase::kBarrier)] +=
+        sim_now_ - before;
+    if (tracer_ != nullptr) {
+      tracer_->RecordWorker(
+          rank_, TraceSpan{rank_, kStreamMain, Phase::kBarrier,
+                           "barrier-sync", -1, -1, before, sim_now_, 0});
+    }
   }
 
   /// Test/bench hook: reset the clock (call on all ranks between runs).
   void ResetClock(double value = 0.0) { sim_now_ = value; }
 
  private:
+  friend class TraceScope;
+
   Network* network_;
   int rank_;
   int size_;
   double sim_now_ = 0.0;
   CommStats stats_;
+  TraceRecorder* tracer_ = nullptr;
+  Phase phase_ = Phase::kUntagged;
+};
+
+/// RAII phase scope: swaps the `Comm`'s current phase for its lifetime and
+/// — when tracing is enabled — records one span covering the scoped
+/// simulated-time interval on destruction. Always-on cost is two enum
+/// writes and a clock read; no allocation either way (`name` must be a
+/// string literal, `a`/`b` carry step/bucket indices for display).
+///
+/// Scopes follow the call stack over a per-worker monotonic clock, so
+/// recorded spans nest and never partially overlap within a worker's
+/// stream — the invariant the trace tests pin.
+class TraceScope {
+ public:
+  TraceScope(Comm& comm, Phase phase, const char* name, int a = -1,
+             int b = -1)
+      : comm_(comm),
+        prev_(comm.phase_),
+        phase_(phase),
+        name_(name),
+        a_(a),
+        b_(b),
+        t0_(comm.sim_now()) {
+    comm_.phase_ = phase;
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    comm_.phase_ = prev_;
+    if (comm_.tracer_ != nullptr) {
+      comm_.tracer_->RecordWorker(
+          comm_.rank_, TraceSpan{comm_.rank_, kStreamMain, phase_, name_, a_,
+                                 b_, t0_, comm_.sim_now(), bytes_});
+    }
+  }
+
+  /// Optional payload accounting shown in the exported span.
+  void AddBytes(uint64_t bytes) { bytes_ += bytes; }
+
+ private:
+  Comm& comm_;
+  Phase prev_;
+  Phase phase_;
+  const char* name_;
+  int a_;
+  int b_;
+  double t0_;
+  uint64_t bytes_ = 0;
 };
 
 /// A team view over a communicator: `ranks[i]` is the global rank of group

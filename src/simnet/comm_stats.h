@@ -1,8 +1,11 @@
 #ifndef SPARDL_SIMNET_COMM_STATS_H_
 #define SPARDL_SIMNET_COMM_STATS_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+
+#include "obs/trace.h"
 
 namespace spardl {
 
@@ -23,6 +26,22 @@ struct CommStats {
   /// Simulated seconds charged via Comm::Compute.
   double compute_seconds = 0.0;
 
+  /// Phase-bucketed breakdown, maintained whether or not tracing is on.
+  /// The comm tags (`IsCommPhase`) partition `comm_seconds` by the phase
+  /// active at each Recv; `kCompute` mirrors `compute_seconds`; `kBarrier`
+  /// and `kOverlapIdle` account waits charged to neither aggregate.
+  std::array<double, kNumPhases> phase_seconds{};
+
+  /// Sum of the comm-tagged buckets — equals `comm_seconds` up to
+  /// floating-point summation order.
+  double CommPhaseSum() const {
+    double sum = 0.0;
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      if (IsCommPhase(static_cast<Phase>(i))) sum += phase_seconds[i];
+    }
+    return sum;
+  }
+
   void Reset() { *this = CommStats{}; }
 
   CommStats& operator+=(const CommStats& other) {
@@ -32,6 +51,9 @@ struct CommStats {
     words_received += other.words_received;
     comm_seconds += other.comm_seconds;
     compute_seconds += other.compute_seconds;
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      phase_seconds[i] += other.phase_seconds[i];
+    }
     return *this;
   }
 };

@@ -44,6 +44,20 @@ Network::Network(std::unique_ptr<Topology> topology)
   for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
 }
 
+void Network::AttachTraceRecorder(TraceRecorder* recorder) {
+  if (engine_) {
+    // Event mode charges links in PumpOneLocked; the topology's charge
+    // loop never runs, so the engine is the one recording surface.
+    engine_->set_trace_recorder(recorder);
+    return;
+  }
+  topology_->set_trace_recorder(recorder);
+}
+
+LinkUsage Network::link_usage(LinkId id) const {
+  return engine_ ? engine_->link_usage(id) : topology_->link_usage(id);
+}
+
 void Network::SetWorkerSlowdown(int rank, double factor) {
   SPARDL_CHECK(rank >= 0 && rank < size_);
   SPARDL_CHECK_GT(factor, 0.0);

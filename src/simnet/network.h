@@ -93,6 +93,15 @@ class Network {
   /// True when the event-ordered engine is charging this fabric.
   bool event_ordered() const { return engine_ != nullptr; }
 
+  /// Attaches a span recorder to whichever engine charges this fabric
+  /// (per-link occupancy spans). Call while no worker threads run; the
+  /// recorder must outlive them. `Cluster::EnableTracing` does this.
+  void AttachTraceRecorder(TraceRecorder* recorder);
+
+  /// Cumulative charge counters for one link, from whichever engine is
+  /// active. Zero on closed-form fabrics (flat never touches link state).
+  LinkUsage link_usage(LinkId id) const;
+
   /// Deposits a packet into the (src, dst) mailbox. On the event-ordered
   /// engine this also injects the packet's flow into the event queue.
   void Post(int src, int dst, Packet packet);

@@ -56,7 +56,10 @@ void Topology::SetNodeScale(int node, double factor) {
 
 void Topology::ResetLinkClocks() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (LinkState& link : links_) link.busy_until = 0.0;
+  for (LinkState& link : links_) {
+    link.busy_until = 0.0;
+    link.usage = LinkUsage{};
+  }
 }
 
 LinkInfo Topology::link_info(LinkId id) const {
@@ -64,6 +67,12 @@ LinkInfo Topology::link_info(LinkId id) const {
   const LinkState& link = links_[static_cast<size_t>(id)];
   return LinkInfo{link.tail, link.head, link.alpha * link.scale,
                   link.beta * link.scale};
+}
+
+LinkUsage Topology::link_usage(LinkId id) const {
+  SPARDL_CHECK(id >= 0 && id < num_links());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return links_[static_cast<size_t>(id)].usage;
 }
 
 double Topology::ChargeMessage(int src, int dst, size_t words,
@@ -79,12 +88,24 @@ double Topology::ChargeMessage(int src, int dst, size_t words,
   double bottleneck = 0.0;   // slowest link's serialization time
   for (LinkId id : path) {
     LinkState& link = links_[static_cast<size_t>(id)];
-    const double start = std::max(head, link.busy_until);
+    const double wait = link.busy_until > head ? link.busy_until - head : 0.0;
+    const double start = head + wait;
     const double serialize = link.beta * link.scale * words;
     head = start + link.alpha * link.scale;
     // The link stays occupied until the whole body has crossed it.
     link.busy_until = head + serialize;
     bottleneck = std::max(bottleneck, serialize);
+    link.usage.busy_seconds += link.busy_until - start;
+    link.usage.bytes += static_cast<uint64_t>(words) * sizeof(float);
+    link.usage.messages += 1;
+    link.usage.max_queue_seconds =
+        std::max(link.usage.max_queue_seconds, wait);
+    if (trace_recorder_ != nullptr) {
+      trace_recorder_->RecordLink(
+          TraceSpan{id, kStreamLink, Phase::kLink, "flow", src, dst, start,
+                    link.busy_until,
+                    static_cast<uint64_t>(words) * sizeof(float)});
+    }
   }
   // Traversal overlaps whatever the receiver is doing; consumption waits
   // for whichever finishes last.

@@ -2,11 +2,13 @@
 #define SPARDL_TOPO_TOPOLOGY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "simnet/cost_model.h"
 
 namespace spardl {
@@ -46,6 +48,22 @@ struct LinkInfo {
   int head = 0;
   double alpha = 0.0;
   double beta = 0.0;
+};
+
+/// Cumulative per-link charge counters, maintained by whichever engine is
+/// accounting the fabric (the busy-until charge loop or the DES
+/// `LinkServer`). Closed-form fabrics (`FlatTopology`) never touch link
+/// state, so their counters stay zero.
+struct LinkUsage {
+  /// Simulated seconds the link was occupied (header latency plus body
+  /// serialization of every message that crossed it).
+  double busy_seconds = 0.0;
+  /// Payload bytes carried (wire words * 4).
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+  /// Worst queueing delay a header saw behind earlier flows — the
+  /// time-domain measure of the deepest backlog this link built up.
+  double max_queue_seconds = 0.0;
 };
 
 /// A simulated network fabric: workers and switches joined by directed
@@ -133,12 +151,24 @@ class Topology {
     return node_scale_[static_cast<size_t>(node)];
   }
 
-  /// Clears every link's busy-until clock (between measured phases, in
-  /// lockstep with resetting worker clocks).
+  /// Clears every link's busy-until clock and usage counters (between
+  /// measured phases, in lockstep with resetting worker clocks).
   void ResetLinkClocks();
 
   int num_links() const { return static_cast<int>(links_.size()); }
   LinkInfo link_info(LinkId id) const;
+
+  /// Cumulative charge counters for one link under the busy-until engine
+  /// (the event engine keeps its own; read merged values via
+  /// `Network::link_usage`). Thread-safe.
+  LinkUsage link_usage(LinkId id) const;
+
+  /// Attaches a span recorder: the busy-until charge loop records one
+  /// `kLink` occupancy span per (message, link crossed). Set while no
+  /// worker threads run; the recorder must outlive charging.
+  void set_trace_recorder(TraceRecorder* recorder) {
+    trace_recorder_ = recorder;
+  }
 
  protected:
   Topology(int num_workers, CostModel base_cost);
@@ -158,6 +188,7 @@ class Topology {
     double beta;
     double scale = 1.0;
     double busy_until = 0.0;
+    LinkUsage usage;
   };
 
   int num_workers_;
@@ -166,7 +197,8 @@ class Topology {
   std::vector<LinkState> links_;
   std::vector<std::vector<LinkId>> ingress_links_;  // per worker
   std::vector<double> node_scale_;                  // per worker
-  std::mutex mutex_;
+  TraceRecorder* trace_recorder_ = nullptr;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace spardl

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "baselines/registry.h"
+#include "dl/grad_profile.h"
+#include "obs/exporters.h"
 #include "test_util.h"
+#include "topo/topology_spec.h"
 
 namespace spardl {
 namespace {
@@ -51,6 +54,46 @@ TEST_P(DeterminismSweep, IdenticalAcrossRuns) {
 INSTANTIATE_TEST_SUITE_P(Methods, DeterminismSweep,
                          ::testing::Values("spardl", "topka", "topkdsa",
                                            "gtopk", "oktopk", "dense"));
+
+// One traced SparDL run on a contended oversubscribed fat-tree under the
+// event-ordered engine, exported as Chrome trace JSON.
+std::string OneTracedRun() {
+  const int p = 8;
+  auto spec = TopologySpec::Parse("fattree:4x8x2+event", p);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  Cluster cluster(*spec);
+  cluster.EnableTracing();
+
+  AlgorithmConfig config;
+  config.n = 1 << 12;
+  config.k = config.n / 50;
+  config.num_workers = p;
+  config.num_teams = 2;
+  std::vector<std::unique_ptr<SparseAllReduce>> algos(
+      static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    algos[static_cast<size_t>(r)] = std::move(*CreateAlgorithm("spardl", config));
+  }
+  const ProfileGradientGenerator generator(config.n, /*seed=*/99);
+  for (int iter = 0; iter < 2; ++iter) {
+    cluster.Run([&](Comm& comm) {
+      algos[static_cast<size_t>(comm.rank())]->RunOnSparse(
+          comm, generator.Generate(comm.rank(), iter, config.k * 3 / 2));
+      comm.BarrierSyncClocks();
+    });
+  }
+  return ChromeTraceJson(cluster);
+}
+
+// The observability acceptance bar: the exported trace — including the
+// contended per-link occupancy spans — is byte-identical across runs on
+// the event-ordered engine, regardless of thread scheduling.
+TEST(TraceDeterminism, ChromeTraceByteIdenticalAcrossRuns) {
+  const std::string first = OneTracedRun();
+  const std::string second = OneTracedRun();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
 
 }  // namespace
 }  // namespace spardl
