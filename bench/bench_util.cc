@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "metrics/table.h"
+#include "obs/analysis.h"
 #include "obs/exporters.h"
 
 namespace spardl {
@@ -18,10 +19,12 @@ namespace {
 constexpr const char* kFlagHelp =
     "(supported flags: --workers N, --iterations N, --topology SPEC, "
     "--engine busy|event, --placement contiguous|rack|interleaved, "
-    "--trace-out PATH, --metrics-out PATH, --metrics-csv PATH; env "
+    "--trace-out PATH, --metrics-out PATH, --metrics-csv PATH, "
+    "--timeseries-out PATH; env "
     "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, "
     "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT, SPARDL_BENCH_TRACE_OUT, "
-    "SPARDL_BENCH_METRICS_OUT, SPARDL_BENCH_METRICS_CSV)";
+    "SPARDL_BENCH_METRICS_OUT, SPARDL_BENCH_METRICS_CSV, "
+    "SPARDL_BENCH_TIMESERIES_OUT)";
 
 /// Process-global observability sinks, installed by `ParseHarnessArgs`.
 /// A plain static: bench mains are single-threaded at parse/observe time.
@@ -29,11 +32,12 @@ struct ObsConfig {
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   std::optional<std::string> metrics_csv;
+  std::optional<std::string> timeseries_out;
   std::vector<RunMetrics> runs;
 
   bool enabled() const {
     return trace_out.has_value() || metrics_out.has_value() ||
-           metrics_csv.has_value();
+           metrics_csv.has_value() || timeseries_out.has_value();
   }
 };
 
@@ -152,6 +156,7 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   args.trace_out = EnvString("SPARDL_BENCH_TRACE_OUT");
   args.metrics_out = EnvString("SPARDL_BENCH_METRICS_OUT");
   args.metrics_csv = EnvString("SPARDL_BENCH_METRICS_CSV");
+  args.timeseries_out = EnvString("SPARDL_BENCH_TIMESERIES_OUT");
   for (int i = 1; i < argc; ++i) {
     if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
       args.workers = *v;
@@ -169,6 +174,8 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.metrics_out = *v;
     } else if (auto v = MatchStringFlag("metrics-csv", argc, argv, &i)) {
       args.metrics_csv = *v;
+    } else if (auto v = MatchStringFlag("timeseries-out", argc, argv, &i)) {
+      args.timeseries_out = *v;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s' %s\n", argv[i], kFlagHelp);
       std::exit(2);
@@ -178,12 +185,13 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   obs.trace_out = args.trace_out;
   obs.metrics_out = args.metrics_out;
   obs.metrics_csv = args.metrics_csv;
+  obs.timeseries_out = args.timeseries_out;
   return args;
 }
 
 bool ObservabilityEnabled() { return GlobalObs().enabled(); }
 
-void MaybeEnableTracing(Cluster& cluster) {
+void MaybeEnableObservability(Cluster& cluster) {
   if (ObservabilityEnabled()) cluster.EnableTracing();
 }
 
@@ -217,13 +225,35 @@ void WriteMetricsCsvOrDie(const std::string& path,
   if (!WriteCsv(path, names, columns)) DieWriteFailure(path);
 }
 
+// `SPARDL_STRAGGLER_FACTOR`: a worker is a straggler when its mean
+// iteration wall time exceeds this multiple of the cross-worker median.
+double StragglerFactorFromEnv() {
+  const char* value = std::getenv("SPARDL_STRAGGLER_FACTOR");
+  if (value == nullptr || *value == '\0') return kDefaultStragglerFactor;
+  char* end = nullptr;
+  const double factor = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(factor > 0.0)) {
+    std::fprintf(stderr,
+                 "bad value '%s' for SPARDL_STRAGGLER_FACTOR: want a "
+                 "positive number\n",
+                 value);
+    std::exit(2);
+  }
+  return factor;
+}
+
 }  // namespace
 
 void ObserveRun(Cluster& cluster, const std::string& label) {
   ObsConfig& obs = GlobalObs();
   if (!obs.enabled()) return;
   obs.runs.push_back(CollectRunMetrics(cluster, label));
-  const RunMetrics& run = obs.runs.back();
+  RunMetrics& run = obs.runs.back();
+  const CriticalPathReport report = ExtractCriticalPath(cluster);
+  const std::vector<WhatIfResult> what_ifs = EstimateWhatIfs(report, cluster);
+  run.analysis_json = AnalysisJson(report, what_ifs);
+  const TimeSeriesReport series =
+      BuildTimeSeries(cluster, StragglerFactorFromEnv());
   if (obs.trace_out.has_value() &&
       !WriteTextFile(*obs.trace_out, ChromeTraceJson(cluster))) {
     DieWriteFailure(*obs.trace_out);
@@ -235,11 +265,20 @@ void ObserveRun(Cluster& cluster, const std::string& label) {
   if (obs.metrics_csv.has_value()) {
     WriteMetricsCsvOrDie(*obs.metrics_csv, obs.runs);
   }
+  if (obs.timeseries_out.has_value() &&
+      !WriteTextFile(*obs.timeseries_out, TimeSeriesJson(series, label))) {
+    DieWriteFailure(*obs.timeseries_out);
+  }
   std::printf("[obs] run %zu '%s' on %s (%s): makespan %.6fs\n",
               obs.runs.size(), label.c_str(), run.topology.c_str(),
               run.engine.c_str(), run.makespan_seconds);
   if (!run.links.empty()) {
     std::printf("%s", LinkUtilizationTable(run, /*top_n=*/3).c_str());
+  }
+  std::printf("%s", CriticalPathTable(report).c_str());
+  std::printf("%s", WhatIfTable(what_ifs).c_str());
+  if (series.iterations > 0) {
+    std::printf("%s", StragglerTable(series).c_str());
   }
 }
 
@@ -324,7 +363,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   config.placement = std::move(*placement);
 
   Cluster cluster(fabric);
-  MaybeEnableTracing(cluster);
+  MaybeEnableObservability(cluster);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {
@@ -347,6 +386,9 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
           comm.rank(), iter, candidates_per_worker);
       algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,
                                                            candidates);
+      // Mark before the barrier so the per-iteration series keeps the
+      // cross-worker skew the barrier is about to erase.
+      comm.MarkIteration();
       comm.BarrierSyncClocks();
     });
   }

@@ -26,18 +26,19 @@ namespace bench {
 ///   --trace-out=PATH                Chrome trace JSON of the last traced run
 ///   --metrics-out=PATH              structured run-metrics JSON (all runs)
 ///   --metrics-csv=PATH              per-run numeric series as CSV
+///   --timeseries-out=PATH           per-iteration time-series JSON (last run)
 ///
 /// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` /
 /// `SPARDL_BENCH_TOPOLOGY` / `SPARDL_BENCH_ENGINE` /
 /// `SPARDL_BENCH_PLACEMENT` / `SPARDL_BENCH_TRACE_OUT` /
-/// `SPARDL_BENCH_METRICS_OUT` / `SPARDL_BENCH_METRICS_CSV` environment
-/// variables as defaults (flag > env > the bench's built-in value), so CI
-/// can run the expensive harnesses at smoke-tier sizes — and on any
-/// fabric/engine/team layout, with artifacts — without editing code.
-/// Unknown `--` flags abort with a usage message; positional args are left
-/// for the bench to interpret.
+/// `SPARDL_BENCH_METRICS_OUT` / `SPARDL_BENCH_METRICS_CSV` /
+/// `SPARDL_BENCH_TIMESERIES_OUT` environment variables as defaults
+/// (flag > env > the bench's built-in value), so CI can run the expensive
+/// harnesses at smoke-tier sizes — and on any fabric/engine/team layout,
+/// with artifacts — without editing code. Unknown `--` flags abort with a
+/// usage message; positional args are left for the bench to interpret.
 ///
-/// `ParseHarnessArgs` registers the three output paths process-globally;
+/// `ParseHarnessArgs` registers the four output paths process-globally;
 /// the shared measurement helpers (`MeasurePerUpdate`, `RunTrainingCase`)
 /// then enable tracing and persist artifacts via `ObserveRun` with no
 /// per-bench code.
@@ -51,6 +52,7 @@ struct HarnessArgs {
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
   std::optional<std::string> metrics_csv;
+  std::optional<std::string> timeseries_out;
 
   int workers_or(int fallback) const { return workers.value_or(fallback); }
   int iterations_or(int fallback) const {
@@ -72,20 +74,24 @@ struct HarnessArgs {
 HarnessArgs ParseHarnessArgs(int argc, char** argv);
 
 /// True once `ParseHarnessArgs` saw any observability sink
-/// (--trace-out / --metrics-out / --metrics-csv or their env defaults).
+/// (--trace-out / --metrics-out / --metrics-csv / --timeseries-out or
+/// their env defaults).
 bool ObservabilityEnabled();
 
 /// Turns span recording on for `cluster` when observability is enabled
 /// (no-op otherwise). Call after constructing the cluster, before the
 /// measured iterations.
-void MaybeEnableTracing(Cluster& cluster);
+void MaybeEnableObservability(Cluster& cluster);
 
 /// Records one finished measurement run against the configured sinks:
-/// appends the run's `RunMetrics` and rewrites the metrics JSON/CSV, and
-/// rewrites the Chrome trace with this cluster's spans (multiple observed
-/// runs: the *last* trace wins; the metrics files keep every run). Prints
-/// a compact top-links table to stdout. Exits non-zero with a message on
-/// any write failure. No-op when observability is disabled.
+/// appends the run's `RunMetrics` (with its embedded critical-path
+/// analysis) and rewrites the metrics JSON/CSV, and rewrites the Chrome
+/// trace and time-series JSON with this cluster's data (multiple observed
+/// runs: the *last* trace/time-series wins; the metrics files keep every
+/// run). Prints the top-links, critical-path, what-if, and straggler
+/// tables to stdout. The straggler threshold is
+/// `SPARDL_STRAGGLER_FACTOR` (default 1.5). Exits non-zero with a message
+/// on any write failure. No-op when observability is disabled.
 void ObserveRun(Cluster& cluster, const std::string& label);
 
 /// The default fabric sweep shared by `bench_ext_topology` and

@@ -1,0 +1,86 @@
+# Validates the analysis-bearing observability artifacts the smoke tier
+# produces: a `spardl-run-metrics/2` document whose every run embeds a
+# critical-path analysis with an intact identity (the extracted segments
+# sum exactly to the end-to-end simulated time), and a
+# `spardl-timeseries/1` document whose series matches its iteration
+# count. Inputs: -DMETRICS_JSON=<path> -DTIMESERIES_JSON=<path>.
+
+foreach(var METRICS_JSON TIMESERIES_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckAnalysisJson.cmake needs -D${var}=...")
+  endif()
+  if(NOT EXISTS "${${var}}")
+    message(FATAL_ERROR "${${var}} does not exist")
+  endif()
+endforeach()
+
+# --- run-metrics: every run must carry an identity-OK analysis ---------
+
+file(READ "${METRICS_JSON}" metrics)
+string(JSON schema ERROR_VARIABLE err GET "${metrics}" schema)
+if(err OR NOT schema STREQUAL "spardl-run-metrics/2")
+  message(FATAL_ERROR
+    "${METRICS_JSON} malformed: bad schema '${schema}' (${err})")
+endif()
+
+string(JSON n_runs ERROR_VARIABLE err LENGTH "${metrics}" runs)
+if(err OR n_runs EQUAL 0)
+  message(FATAL_ERROR "${METRICS_JSON} has no runs (${err})")
+endif()
+
+math(EXPR last_run "${n_runs} - 1")
+foreach(i RANGE 0 ${last_run})
+  string(JSON identity ERROR_VARIABLE err
+    GET "${metrics}" runs ${i} analysis identity_ok)
+  if(err)
+    message(FATAL_ERROR
+      "${METRICS_JSON} runs[${i}] has no analysis.identity_ok (${err})")
+  endif()
+  if(NOT identity STREQUAL "ON")
+    message(FATAL_ERROR
+      "${METRICS_JSON} runs[${i}]: critical-path identity BROKEN — the "
+      "extracted segments no longer sum to the end-to-end simulated time")
+  endif()
+  string(JSON segments ERROR_VARIABLE err
+    GET "${metrics}" runs ${i} analysis segments)
+  if(err OR segments LESS 1)
+    message(FATAL_ERROR
+      "${METRICS_JSON} runs[${i}] analysis has no segments (${err})")
+  endif()
+  string(JSON n_what_if ERROR_VARIABLE err
+    LENGTH "${metrics}" runs ${i} analysis what_if)
+  if(err OR n_what_if EQUAL 0)
+    message(FATAL_ERROR
+      "${METRICS_JSON} runs[${i}] analysis has no what_if entries (${err})")
+  endif()
+endforeach()
+
+# --- time series: schema + per-iteration rows --------------------------
+
+file(READ "${TIMESERIES_JSON}" series_doc)
+string(JSON schema ERROR_VARIABLE err GET "${series_doc}" schema)
+if(err OR NOT schema STREQUAL "spardl-timeseries/1")
+  message(FATAL_ERROR
+    "${TIMESERIES_JSON} malformed: bad schema '${schema}' (${err})")
+endif()
+
+string(JSON iterations ERROR_VARIABLE err GET "${series_doc}" iterations)
+if(err OR iterations LESS 1)
+  message(FATAL_ERROR
+    "${TIMESERIES_JSON} has no recorded iterations (${err})")
+endif()
+string(JSON n_series ERROR_VARIABLE err LENGTH "${series_doc}" series)
+if(err OR NOT n_series EQUAL iterations)
+  message(FATAL_ERROR
+    "${TIMESERIES_JSON} series length ${n_series} != iterations "
+    "${iterations} (${err})")
+endif()
+string(JSON n_stragglers ERROR_VARIABLE err
+  LENGTH "${series_doc}" stragglers)
+if(err)
+  message(FATAL_ERROR "${TIMESERIES_JSON} has no stragglers array (${err})")
+endif()
+
+message(STATUS "${METRICS_JSON}: ${n_runs} run(s) with identity-OK "
+  "analysis; ${TIMESERIES_JSON}: ${iterations} iteration(s), "
+  "${n_stragglers} straggler(s) OK")

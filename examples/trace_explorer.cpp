@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
           generator.Generate(comm.rank(), iter, candidates_per_worker);
       algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,
                                                            candidates);
+      comm.MarkIteration();  // before the barrier: keep cross-worker skew
       comm.BarrierSyncClocks();
     });
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -39,6 +40,9 @@ uint64_t EventEngine::InjectFlowLocked(int src, int dst, size_t words,
 
   Flow flow;
   flow.words = words;
+  flow.src = src;
+  flow.dst = dst;
+  flow.sent_at = sent_at;
   topology_.Route(src, dst, &flow.path);
   SPARDL_DCHECK(!flow.path.empty()) << "empty route " << src << "->" << dst;
   flows_.emplace(key, std::move(flow));
@@ -84,6 +88,7 @@ uint64_t EventEngine::PumpOneLocked() {
     trace_recorder_->RecordLink(TraceSpan{id, kStreamLink, Phase::kLink,
                                           "flow", pair / p, pair % p, start,
                                           head_out + serialize, bytes});
+    flow.hops.push_back(FlowHop{id, event.time, start, head_out, serialize});
   }
   flow.bottleneck = std::max(flow.bottleneck, serialize);
   ++flow.hop;
@@ -92,7 +97,18 @@ uint64_t EventEngine::PumpOneLocked() {
     return 0;
   }
   // Final hop: the body trails the header by the bottleneck serialization.
-  resolved_.emplace(event.flow, head_out + flow.bottleneck);
+  const double arrival = head_out + flow.bottleneck;
+  resolved_.emplace(event.flow, arrival);
+  if (trace_recorder_ != nullptr) {
+    FlowRecord record;
+    record.src = flow.src;
+    record.dst = flow.dst;
+    record.words = flow.words;
+    record.sent_at = flow.sent_at;
+    record.arrival = arrival;
+    record.hops = std::move(flow.hops);
+    trace_recorder_->RecordFlow(event.flow, std::move(record));
+  }
   flows_.erase(it);
   return event.flow;
 }

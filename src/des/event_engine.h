@@ -24,6 +24,15 @@ struct Flow {
   /// Max serialization time over the hops crossed so far (cut-through: the
   /// body is serialized once, at the bottleneck link).
   double bottleneck = 0.0;
+  /// Endpoints and send time, kept for the flow dependency record handed
+  /// to the trace recorder when the flow resolves.
+  int src = -1;
+  int dst = -1;
+  double sent_at = 0.0;
+  /// Per-hop service record, filled only while a trace recorder is
+  /// attached (analysis needs the full dependency chain; the plain
+  /// charge path should not pay for it).
+  std::vector<FlowHop> hops;
 };
 
 /// Min-heap of per-hop transmission events, ordered by `(time, flow key)`.

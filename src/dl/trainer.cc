@@ -274,6 +274,7 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
           comm.Compute(config.compute_seconds_per_iteration);
           const SparseVector global = algorithm->Run(comm, model->grads());
           optimizer.Step(global, p, epoch, model->params());
+          comm.MarkIteration();
           continue;
         }
 
@@ -338,6 +339,7 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
           }
         }
         optimizer.Step(global, p, epoch, model->params());
+        comm.MarkIteration();
       }
       train_loss[static_cast<size_t>(epoch)][rank_idx] =
           loss_sum / config.iterations_per_epoch;

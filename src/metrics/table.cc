@@ -42,6 +42,20 @@ std::string TablePrinter::ToString() const {
   return out;
 }
 
+// RFC 4180 quoting: a field holding a comma, quote, or newline is wrapped
+// in quotes with embedded quotes doubled (link/label names are caller
+// data, e.g. "w0->s8", and must not be able to shift columns).
+static std::string CsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted.push_back(ch);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
 bool WriteCsv(const std::string& path,
               const std::vector<std::string>& column_names,
               const std::vector<std::vector<double>>& columns) {
@@ -49,7 +63,7 @@ bool WriteCsv(const std::string& path,
   std::ofstream file(path);
   if (!file) return false;
   for (size_t c = 0; c < column_names.size(); ++c) {
-    file << (c ? "," : "") << column_names[c];
+    file << (c ? "," : "") << CsvField(column_names[c]);
   }
   file << "\n";
   size_t rows = 0;

@@ -21,13 +21,6 @@ std::string NodeName(int node, int num_workers) {
                             : StrFormat("s%d", node);
 }
 
-std::string LinkName(const Topology& topology, LinkId id) {
-  const LinkInfo info = topology.link_info(id);
-  const int p = topology.num_workers();
-  return StrFormat("%s->%s", NodeName(info.tail, p).c_str(),
-                   NodeName(info.head, p).c_str());
-}
-
 // Spans carry a static `name` plus small-int args; the human-facing label
 // is composed here so recording stays allocation-free.
 std::string SpanDisplayName(const TraceSpan& span) {
@@ -97,6 +90,13 @@ void AppendSpan(std::string* out, const TraceSpan& span, int tid) {
 
 }  // namespace
 
+std::string LinkDisplayName(const Topology& topology, int link) {
+  const LinkInfo info = topology.link_info(link);
+  const int p = topology.num_workers();
+  return StrFormat("%s->%s", NodeName(info.tail, p).c_str(),
+                   NodeName(info.head, p).c_str());
+}
+
 std::string ChromeTraceJson(const Cluster& cluster, size_t max_link_tracks) {
   std::string out = "{\"traceEvents\":[";
   const TraceRecorder* tracer = cluster.tracer();
@@ -148,7 +148,7 @@ std::string ChromeTraceJson(const Cluster& cluster, size_t max_link_tracks) {
       AppendThreadName(
           &out, tid,
           StrFormat("link %s",
-                    LinkName(cluster.topology(), hot[i].first).c_str()),
+                    LinkDisplayName(cluster.topology(), hot[i].first).c_str()),
           tid);
     }
     for (const TraceSpan& span : link_spans) {
@@ -175,7 +175,7 @@ RunMetrics CollectRunMetrics(const Cluster& cluster,
     if (usage.messages == 0) continue;
     RunMetrics::Link link;
     link.id = id;
-    link.name = LinkName(topology, id);
+    link.name = LinkDisplayName(topology, id);
     link.busy_seconds = usage.busy_seconds;
     link.bytes = usage.bytes;
     link.messages = usage.messages;
@@ -196,7 +196,7 @@ RunMetrics CollectRunMetrics(const Cluster& cluster,
 }
 
 std::string RunMetricsJson(const std::vector<RunMetrics>& runs) {
-  std::string out = "{\"schema\":\"spardl-run-metrics/1\",\"runs\":[";
+  std::string out = "{\"schema\":\"spardl-run-metrics/2\",\"runs\":[";
   for (size_t r = 0; r < runs.size(); ++r) {
     const RunMetrics& run = runs[r];
     if (r > 0) out.push_back(',');
@@ -241,7 +241,12 @@ std::string RunMetricsJson(const std::vector<RunMetrics>& runs) {
           Num(link.max_queue_seconds).c_str(),
           Num(link.utilization).c_str());
     }
-    out += "]}";
+    out += "]";
+    if (!run.analysis_json.empty()) {
+      out += ",\"analysis\":";
+      out += run.analysis_json;
+    }
+    out += "}";
   }
   out += "\n]}\n";
   return out;
@@ -250,9 +255,20 @@ std::string RunMetricsJson(const std::vector<RunMetrics>& runs) {
 std::string LinkUtilizationTable(const RunMetrics& metrics, size_t top_n) {
   TablePrinter table({"link", "busy (s)", "util", "bytes", "msgs",
                       "max queue (s)"});
-  const size_t n = std::min(top_n, metrics.links.size());
+  // Re-sort defensively: `CollectRunMetrics` emits the total order
+  // (busy desc, id asc), but hand-built RunMetrics may not — equal-busy
+  // links must not depend on input order.
+  std::vector<RunMetrics::Link> links = metrics.links;
+  std::sort(links.begin(), links.end(),
+            [](const RunMetrics::Link& a, const RunMetrics::Link& b) {
+              if (a.busy_seconds != b.busy_seconds) {
+                return a.busy_seconds > b.busy_seconds;
+              }
+              return a.id < b.id;
+            });
+  const size_t n = std::min(top_n, links.size());
   for (size_t i = 0; i < n; ++i) {
-    const RunMetrics::Link& link = metrics.links[i];
+    const RunMetrics::Link& link = links[i];
     table.AddRow({link.name, StrFormat("%.6f", link.busy_seconds),
                   StrFormat("%.1f%%", link.utilization * 100.0),
                   HumanBytes(static_cast<double>(link.bytes)),

@@ -11,6 +11,7 @@
 namespace spardl {
 
 class Cluster;
+class Topology;
 
 /// Renders the cluster's recorded spans as Chrome trace-event JSON
 /// (loadable in Perfetto / chrome://tracing): one track per worker, one
@@ -48,6 +49,10 @@ struct RunMetrics {
   double makespan_seconds = 0.0;
   CommStats total;
   std::vector<Link> links;  // busy_seconds desc, then id asc
+  /// Optional embedded `spardl-analysis/1` object (see
+  /// `obs/analysis.h`'s `AnalysisJson`); emitted as the run's
+  /// `"analysis"` key when non-empty.
+  std::string analysis_json;
 };
 
 /// Snapshots `cluster`'s counters (works with tracing disabled — the
@@ -55,8 +60,14 @@ struct RunMetrics {
 RunMetrics CollectRunMetrics(const Cluster& cluster,
                              const std::string& label);
 
-/// Serializes runs as a `spardl-run-metrics/1` JSON document.
+/// Serializes runs as a `spardl-run-metrics/2` JSON document (/2 added
+/// the optional per-run `"analysis"` object; consumers of /1 documents
+/// keep working — no field was removed or renamed).
 std::string RunMetricsJson(const std::vector<RunMetrics>& runs);
+
+/// Graph-edge display name ("w0->s8": workers are "w<rank>", switches
+/// "s<id>"), shared by the exporters and the critical-path tables.
+std::string LinkDisplayName(const Topology& topology, int link);
 
 /// ASCII table of the top `top_n` links by busy time, with utilization
 /// against the run's makespan.

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <utility>
+
 namespace spardl {
 
 std::string_view PhaseName(Phase phase) {
@@ -36,6 +38,17 @@ std::string_view PhaseName(Phase phase) {
 
 TraceRecorder::TraceRecorder(int num_workers) {
   worker_spans_.resize(static_cast<size_t>(num_workers));
+  recv_records_.resize(static_cast<size_t>(num_workers));
+  iteration_marks_.resize(static_cast<size_t>(num_workers));
+}
+
+void TraceRecorder::RecordFlow(uint64_t key, FlowRecord rec) {
+  flow_records_[key] = std::move(rec);
+}
+
+const FlowRecord* TraceRecorder::FindFlow(uint64_t key) const {
+  const auto it = flow_records_.find(key);
+  return it == flow_records_.end() ? nullptr : &it->second;
 }
 
 size_t TraceRecorder::TotalSpans() const {
@@ -47,6 +60,9 @@ size_t TraceRecorder::TotalSpans() const {
 void TraceRecorder::Clear() {
   for (auto& spans : worker_spans_) spans.clear();
   link_spans_.clear();
+  for (auto& recs : recv_records_) recs.clear();
+  flow_records_.clear();
+  for (auto& marks : iteration_marks_) marks.clear();
 }
 
 }  // namespace spardl

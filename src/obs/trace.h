@@ -1,9 +1,11 @@
 #ifndef SPARDL_OBS_TRACE_H_
 #define SPARDL_OBS_TRACE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace spardl {
@@ -67,6 +69,54 @@ struct TraceSpan {
   uint64_t bytes = 0;
 };
 
+/// One completed `Comm::Recv`, recorded in the same order as that
+/// worker's "recv" spans on `kStreamMain` (zip the two sequences by
+/// ordinal to pair a wait span with its delivery metadata). `flow` is
+/// the event-engine flow key (0 on closed-form fabrics); `sent_at` is
+/// the sender's simulated clock at `Send`.
+struct RecvRecord {
+  int src = -1;
+  uint64_t flow = 0;
+  double sent_at = 0.0;
+  size_t words = 0;
+};
+
+/// One hop of an event-engine flow through a link's FIFO server:
+/// the head enters the queue at `enter`, starts service at `start`
+/// (`start - enter` is queueing), occupies the wire head for the link's
+/// alpha until `head_out`, and the body takes `serialize` seconds to
+/// drain behind it. Links are graph LinkIds (plain int here: topology.h
+/// includes this header).
+struct FlowHop {
+  int link = -1;
+  double enter = 0.0;
+  double start = 0.0;
+  double head_out = 0.0;
+  double serialize = 0.0;
+};
+
+/// Full dependency record of one resolved event-engine flow: per-hop
+/// service times plus the end-to-end `sent_at -> arrival` envelope
+/// (arrival = last hop's head_out + the bottleneck serialize).
+struct FlowRecord {
+  int src = -1;
+  int dst = -1;
+  size_t words = 0;
+  double sent_at = 0.0;
+  double arrival = 0.0;
+  std::vector<FlowHop> hops;
+};
+
+/// Snapshot of one worker's cumulative counters at an iteration
+/// boundary (`Comm::MarkIteration`). Fields are copied out of CommStats
+/// rather than embedding it (comm_stats.h includes this header).
+struct IterationMark {
+  double sim_now = 0.0;
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::array<double, kNumPhases> phase_seconds{};
+};
+
 /// Per-cluster span storage. Off by default (`Cluster::EnableTracing`
 /// creates one); every record site is gated on a null check, so the
 /// disabled path costs one branch and zero allocations.
@@ -95,15 +145,42 @@ class TraceRecorder {
   }
   const std::vector<TraceSpan>& link_spans() const { return link_spans_; }
 
+  /// Delivery metadata, same ownership rule as `RecordWorker`.
+  void RecordRecv(int worker, const RecvRecord& rec) {
+    recv_records_[static_cast<size_t>(worker)].push_back(rec);
+  }
+  const std::vector<RecvRecord>& recv_records(int worker) const {
+    return recv_records_[static_cast<size_t>(worker)];
+  }
+
+  /// Flow dependency records, keyed by the engine's flow key. Called
+  /// under the event-engine mutex (same rule as `RecordLink`).
+  void RecordFlow(uint64_t key, FlowRecord rec);
+  const FlowRecord* FindFlow(uint64_t key) const;
+  const std::unordered_map<uint64_t, FlowRecord>& flow_records() const {
+    return flow_records_;
+  }
+
+  /// Iteration boundaries, same ownership rule as `RecordWorker`.
+  void MarkIteration(int worker, const IterationMark& mark) {
+    iteration_marks_[static_cast<size_t>(worker)].push_back(mark);
+  }
+  const std::vector<IterationMark>& iteration_marks(int worker) const {
+    return iteration_marks_[static_cast<size_t>(worker)];
+  }
+
   size_t TotalSpans() const;
 
-  /// Drops all spans (capacity retained). Call between measured phases,
-  /// in lockstep with `Cluster::ResetClocksAndStats`.
+  /// Drops all recorded state (capacity retained). Call between measured
+  /// phases, in lockstep with `Cluster::ResetClocksAndStats`.
   void Clear();
 
  private:
   std::vector<std::vector<TraceSpan>> worker_spans_;
   std::vector<TraceSpan> link_spans_;
+  std::vector<std::vector<RecvRecord>> recv_records_;
+  std::unordered_map<uint64_t, FlowRecord> flow_records_;
+  std::vector<std::vector<IterationMark>> iteration_marks_;
 };
 
 }  // namespace spardl

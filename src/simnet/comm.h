@@ -100,6 +100,13 @@ class Comm {
           rank_, TraceSpan{rank_, kStreamMain, phase_, "recv", src, -1,
                            before, sim_now_,
                            delivered.packet.words * sizeof(float)});
+      // Delivery metadata in the same order as the "recv" spans above:
+      // the analysis layer zips the two sequences by ordinal to pair a
+      // wait with its flow's dependency record.
+      tracer_->RecordRecv(
+          rank_, RecvRecord{src, delivered.packet.flow,
+                            delivered.packet.sent_at,
+                            delivered.packet.words});
     }
     return std::move(delivered.packet.payload);
   }
@@ -180,6 +187,21 @@ class Comm {
           rank_, TraceSpan{rank_, kStreamMain, Phase::kBarrier,
                            "barrier-sync", -1, -1, before, sim_now_, 0});
     }
+  }
+
+  /// Marks an iteration boundary for the time-series recorder: snapshots
+  /// this worker's clock and cumulative counters. No-op with tracing off
+  /// (the boundary carries no simulated-time cost either way). Call from
+  /// the training/measurement loop once per iteration, before the final
+  /// clock-sync barrier so cross-worker skew is still visible.
+  void MarkIteration() {
+    if (tracer_ == nullptr) return;
+    IterationMark mark;
+    mark.sim_now = sim_now_;
+    mark.comm_seconds = stats_.comm_seconds;
+    mark.compute_seconds = stats_.compute_seconds;
+    mark.phase_seconds = stats_.phase_seconds;
+    tracer_->MarkIteration(rank_, mark);
   }
 
   /// Test/bench hook: reset the clock (call on all ranks between runs).

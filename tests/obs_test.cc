@@ -235,7 +235,7 @@ TEST(ExportersTest, ChromeTraceAndMetricsAreValidJson) {
   EXPECT_FALSE(metrics.links.empty());
   const std::string json = RunMetricsJson({metrics});
   EXPECT_TRUE(IsValidJson(json)) << json.substr(0, 200);
-  EXPECT_NE(json.find("spardl-run-metrics/1"), std::string::npos);
+  EXPECT_NE(json.find("spardl-run-metrics/2"), std::string::npos);
   EXPECT_FALSE(LinkUtilizationTable(metrics).empty());
   EXPECT_FALSE(TopPhasesTable(metrics).empty());
 }
