@@ -20,11 +20,11 @@ constexpr const char* kFlagHelp =
     "(supported flags: --workers N, --iterations N, --topology SPEC, "
     "--engine busy|event, --placement contiguous|rack|interleaved, "
     "--trace-out PATH, --metrics-out PATH, --metrics-csv PATH, "
-    "--timeseries-out PATH; env "
+    "--timeseries-out PATH, --protocol-check; env "
     "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, "
     "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT, SPARDL_BENCH_TRACE_OUT, "
     "SPARDL_BENCH_METRICS_OUT, SPARDL_BENCH_METRICS_CSV, "
-    "SPARDL_BENCH_TIMESERIES_OUT)";
+    "SPARDL_BENCH_TIMESERIES_OUT, SPARDL_BENCH_PROTOCOL_CHECK)";
 
 /// Process-global observability sinks, installed by `ParseHarnessArgs`.
 /// A plain static: bench mains are single-threaded at parse/observe time.
@@ -44,6 +44,13 @@ struct ObsConfig {
 ObsConfig& GlobalObs() {
   static ObsConfig config;
   return config;
+}
+
+/// Process-global `--protocol-check` switch, installed by
+/// `ParseHarnessArgs` (same single-threaded contract as `ObsConfig`).
+bool& GlobalProtocolCheck() {
+  static bool enabled = false;
+  return enabled;
 }
 
 [[noreturn]] void DieWriteFailure(const std::string& path) {
@@ -157,25 +164,30 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   args.metrics_out = EnvString("SPARDL_BENCH_METRICS_OUT");
   args.metrics_csv = EnvString("SPARDL_BENCH_METRICS_CSV");
   args.timeseries_out = EnvString("SPARDL_BENCH_TIMESERIES_OUT");
+  if (auto check = EnvString("SPARDL_BENCH_PROTOCOL_CHECK")) {
+    args.protocol_check = (*check != "0");
+  }
   for (int i = 1; i < argc; ++i) {
-    if (auto v = MatchIntFlag("workers", argc, argv, &i)) {
-      args.workers = *v;
-    } else if (auto v = MatchIntFlag("iterations", argc, argv, &i)) {
-      args.iterations = *v;
-    } else if (auto v = MatchStringFlag("topology", argc, argv, &i)) {
-      args.topology = *v;
-    } else if (auto v = MatchStringFlag("engine", argc, argv, &i)) {
-      args.engine = ParseEngineOrDie(*v);
-    } else if (auto v = MatchStringFlag("placement", argc, argv, &i)) {
-      args.placement = ParsePlacementOrDie(*v);
-    } else if (auto v = MatchStringFlag("trace-out", argc, argv, &i)) {
-      args.trace_out = *v;
-    } else if (auto v = MatchStringFlag("metrics-out", argc, argv, &i)) {
-      args.metrics_out = *v;
-    } else if (auto v = MatchStringFlag("metrics-csv", argc, argv, &i)) {
-      args.metrics_csv = *v;
-    } else if (auto v = MatchStringFlag("timeseries-out", argc, argv, &i)) {
-      args.timeseries_out = *v;
+    if (auto workers = MatchIntFlag("workers", argc, argv, &i)) {
+      args.workers = *workers;
+    } else if (auto iters = MatchIntFlag("iterations", argc, argv, &i)) {
+      args.iterations = *iters;
+    } else if (auto topo = MatchStringFlag("topology", argc, argv, &i)) {
+      args.topology = *topo;
+    } else if (auto engine = MatchStringFlag("engine", argc, argv, &i)) {
+      args.engine = ParseEngineOrDie(*engine);
+    } else if (auto place = MatchStringFlag("placement", argc, argv, &i)) {
+      args.placement = ParsePlacementOrDie(*place);
+    } else if (auto trace = MatchStringFlag("trace-out", argc, argv, &i)) {
+      args.trace_out = *trace;
+    } else if (auto metrics = MatchStringFlag("metrics-out", argc, argv, &i)) {
+      args.metrics_out = *metrics;
+    } else if (auto csv = MatchStringFlag("metrics-csv", argc, argv, &i)) {
+      args.metrics_csv = *csv;
+    } else if (auto ts = MatchStringFlag("timeseries-out", argc, argv, &i)) {
+      args.timeseries_out = *ts;
+    } else if (std::strcmp(argv[i], "--protocol-check") == 0) {
+      args.protocol_check = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s' %s\n", argv[i], kFlagHelp);
       std::exit(2);
@@ -186,6 +198,7 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   obs.metrics_out = args.metrics_out;
   obs.metrics_csv = args.metrics_csv;
   obs.timeseries_out = args.timeseries_out;
+  GlobalProtocolCheck() = args.protocol_check;
   return args;
 }
 
@@ -193,6 +206,12 @@ bool ObservabilityEnabled() { return GlobalObs().enabled(); }
 
 void MaybeEnableObservability(Cluster& cluster) {
   if (ObservabilityEnabled()) cluster.EnableTracing();
+}
+
+bool ProtocolCheckEnabled() { return GlobalProtocolCheck(); }
+
+void MaybeEnableProtocolCheck(Cluster& cluster) {
+  if (ProtocolCheckEnabled()) cluster.EnableProtocolCheck();
 }
 
 namespace {
@@ -309,11 +328,11 @@ TopologySpec ResolveFabric(const std::optional<TopologySpec>& topology,
 }
 
 std::optional<TopologySpec> HarnessArgs::TopologyOr(
-    std::optional<TopologySpec> fallback, int workers,
+    std::optional<TopologySpec> fallback, int num_workers,
     CostModel cost) const {
   std::optional<TopologySpec> spec = fallback;
   if (topology.has_value()) {
-    auto parsed = TopologySpec::Parse(*topology, workers, cost);
+    auto parsed = TopologySpec::Parse(*topology, num_workers, cost);
     // Build-validate too (grid/worker-count agreement, parameter ranges),
     // so a parseable-but-invalid spec is a clean usage error instead of a
     // CHECK abort mid-run.
@@ -330,7 +349,7 @@ std::optional<TopologySpec> HarnessArgs::TopologyOr(
     spec = *parsed;
   }
   if (engine.has_value()) {
-    if (!spec.has_value()) spec = TopologySpec::Flat(workers, cost);
+    if (!spec.has_value()) spec = TopologySpec::Flat(num_workers, cost);
     spec->engine = *engine;
   }
   return spec;
@@ -364,6 +383,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
 
   Cluster cluster(fabric);
   MaybeEnableObservability(cluster);
+  MaybeEnableProtocolCheck(cluster);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(options.num_workers));
   for (int r = 0; r < options.num_workers; ++r) {
@@ -381,7 +401,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
       options.warmup_iterations + options.measured_iterations;
   for (int iter = 0; iter < total_iterations; ++iter) {
     if (iter == options.warmup_iterations) cluster.ResetClocksAndStats();
-    cluster.Run([&](Comm& comm) {
+    SPARDL_CHECK_OK(cluster.Run([&](Comm& comm) {
       const SparseVector candidates = generator.Generate(
           comm.rank(), iter, candidates_per_worker);
       algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,
@@ -390,7 +410,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
       // cross-worker skew the barrier is about to erase.
       comm.MarkIteration();
       comm.BarrierSyncClocks();
-    });
+    }));
   }
   double comm_seconds = 0.0;
   uint64_t words = 0;

@@ -53,6 +53,10 @@ struct HarnessArgs {
   std::optional<std::string> metrics_out;
   std::optional<std::string> metrics_csv;
   std::optional<std::string> timeseries_out;
+  /// `--protocol-check` / `SPARDL_BENCH_PROTOCOL_CHECK=1`: run every
+  /// cluster with the SPMD protocol verifier attached; a diagnosed
+  /// divergence aborts the bench with the verifier's report.
+  bool protocol_check = false;
 
   int workers_or(int fallback) const { return workers.value_or(fallback); }
   int iterations_or(int fallback) const {
@@ -67,7 +71,7 @@ struct HarnessArgs {
   /// default, usually flat); `--engine` overrides the engine either way.
   /// Parse errors abort with a usage message.
   std::optional<TopologySpec> TopologyOr(
-      std::optional<TopologySpec> fallback, int workers,
+      std::optional<TopologySpec> fallback, int num_workers,
       CostModel cost = CostModel::Ethernet()) const;
 };
 
@@ -82,6 +86,16 @@ bool ObservabilityEnabled();
 /// (no-op otherwise). Call after constructing the cluster, before the
 /// measured iterations.
 void MaybeEnableObservability(Cluster& cluster);
+
+/// True once `ParseHarnessArgs` saw `--protocol-check` (or its env
+/// default).
+bool ProtocolCheckEnabled();
+
+/// Attaches the SPMD protocol verifier to `cluster` when
+/// `--protocol-check` was given (no-op otherwise). The shared measurement
+/// helpers call this themselves; benches that build their own clusters
+/// should call it after construction, before running workers.
+void MaybeEnableProtocolCheck(Cluster& cluster);
 
 /// Records one finished measurement run against the configured sinks:
 /// appends the run's `RunMetrics` (with its embedded critical-path

@@ -112,6 +112,7 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
 
   Cluster cluster(fabric);
   MaybeEnableObservability(cluster);
+  MaybeEnableProtocolCheck(cluster);
   const TrainResult result = TrainDistributed(
       cluster, *dataset, spec.model_factory, algorithm_factory, config);
   SPARDL_CHECK(result.replicas_consistent)

@@ -4,7 +4,7 @@
 // `spardl-timeseries` JSON, and renders the critical-path, what-if,
 // per-iteration, and straggler tables without re-running the simulation.
 //
-//   $ ./build/examples/spardl-analyze --metrics metrics.json \
+//   $ ./build/examples/spardl-analyze --metrics metrics.json
 //         [--timeseries timeseries.json]
 //
 // Positional arguments work too: the first is the metrics file, the
@@ -217,8 +217,8 @@ int Main(int argc, char** argv) {
     };
     if (auto v = take_value("--metrics")) {
       metrics_path = *v;
-    } else if (auto v = take_value("--timeseries")) {
-      timeseries_path = *v;
+    } else if (auto ts = take_value("--timeseries")) {
+      timeseries_path = *ts;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n%s", arg, kUsage);
       std::exit(2);

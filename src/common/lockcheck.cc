@@ -1,0 +1,122 @@
+#include "common/lockcheck.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spardl {
+namespace lockcheck {
+
+namespace {
+
+/// One thread's held-lock stack entries, across all graphs (entries tag
+/// which graph they belong to, so test-double graphs never mix with the
+/// global one).
+struct HeldEntry {
+  const Graph* graph;
+  int family;
+};
+
+thread_local std::vector<HeldEntry> tls_held;
+
+}  // namespace
+
+int Graph::RegisterFamily(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < families_.size(); ++i) {
+    if (families_[i] == name) return static_cast<int>(i);
+  }
+  families_.push_back(name);
+  for (auto& row : edges_) row.push_back(false);
+  edges_.emplace_back(families_.size(), false);
+  return static_cast<int>(families_.size()) - 1;
+}
+
+bool Graph::ReachableLocked(int from, int to) const {
+  if (from == to) return true;
+  // Iterative DFS; the graph is tiny (a handful of mutex families).
+  std::vector<bool> visited(families_.size(), false);
+  std::vector<int> stack = {from};
+  visited[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    const auto& row = edges_[static_cast<size_t>(node)];
+    for (size_t next = 0; next < row.size(); ++next) {
+      if (!row[next] || visited[next]) continue;
+      if (static_cast<int>(next) == to) return true;
+      visited[next] = true;
+      stack.push_back(static_cast<int>(next));
+    }
+  }
+  return false;
+}
+
+void Graph::OnAcquire(int family) {
+  // Collect the families of this graph the thread already holds (usually
+  // zero or one) before taking the graph mutex.
+  int held[8];
+  int num_held = 0;
+  for (const HeldEntry& entry : tls_held) {
+    if (entry.graph != this || num_held == 8) continue;
+    held[num_held++] = entry.family;
+  }
+  if (num_held > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < num_held; ++i) {
+      const int from = held[i];
+      SPARDL_CHECK(from != family)
+          << "lock-order: mutex family '"
+          << families_[static_cast<size_t>(family)]
+          << "' acquired while a mutex of the same family is already "
+             "held (self-deadlock under contention)";
+      if (edges_[static_cast<size_t>(from)][static_cast<size_t>(family)]) {
+        continue;  // established order, nothing new to prove
+      }
+      SPARDL_CHECK(!ReachableLocked(family, from))
+          << "lock-order inversion: acquiring '"
+          << families_[static_cast<size_t>(family)] << "' while holding '"
+          << families_[static_cast<size_t>(from)] << "', but the "
+          << "established acquisition order already requires '"
+          << families_[static_cast<size_t>(family)] << "' -> '"
+          << families_[static_cast<size_t>(from)] << "' — the edge pair ('"
+          << families_[static_cast<size_t>(from)] << "' -> '"
+          << families_[static_cast<size_t>(family)] << "') closes a cycle "
+          << "(potential deadlock)";
+      edges_[static_cast<size_t>(from)][static_cast<size_t>(family)] = true;
+    }
+  }
+  tls_held.push_back(HeldEntry{this, family});
+}
+
+void Graph::OnRelease(int family) {
+  // Out-of-order release is legal; pop the newest matching entry.
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->graph == this && it->family == family) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  SPARDL_CHECK(false) << "lock-order: released a mutex of family id "
+                      << family << " that this thread does not hold";
+}
+
+Graph& Graph::Global() {
+  static Graph* graph = new Graph();  // leaked: outlives static dtors
+  return *graph;
+}
+
+OrderedMutex::OrderedMutex(const char* family) {
+#if !defined(NDEBUG) || defined(SPARDL_LOCKCHECK)
+  graph_ = &Graph::Global();
+  family_ = graph_->RegisterFamily(family);
+#else
+  (void)family;  // release builds: plain std::mutex passthrough
+#endif
+}
+
+OrderedMutex::OrderedMutex(Graph& graph, const char* family)
+    : graph_(&graph), family_(graph.RegisterFamily(family)) {}
+
+}  // namespace lockcheck
+}  // namespace spardl

@@ -23,7 +23,10 @@ class FatalLogMessage {
   FatalLogMessage& operator=(const FatalLogMessage&) = delete;
 
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    // '\n' + explicit flush rather than std::endl: the flush must still
+    // happen (we abort next), but keeping endl out of the idiom stops it
+    // spreading to hot paths via copy-paste.
+    std::cerr << stream_.str() << '\n' << std::flush;
     std::abort();
   }
 

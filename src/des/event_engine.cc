@@ -15,12 +15,12 @@ EventEngine::EventEngine(const Topology& topology) : topology_(topology) {
 }
 
 void EventEngine::WorkerEnter() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   ++active_;
 }
 
 void EventEngine::WorkerExit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   --active_;
   SPARDL_DCHECK(active_ >= 0);
   // One fewer runnable thread may make the remaining sleepers quiescent;
@@ -113,7 +113,7 @@ uint64_t EventEngine::PumpOneLocked() {
   return event.flow;
 }
 
-void EventEngine::BlockUntil(std::unique_lock<std::mutex>& lock,
+void EventEngine::BlockUntil(std::unique_lock<lockcheck::OrderedMutex>& lock,
                              const std::function<bool()>& pred,
                              double timeout_seconds,
                              const std::function<std::string()>& describe) {
@@ -153,7 +153,7 @@ void EventEngine::BlockUntil(std::unique_lock<std::mutex>& lock,
 }
 
 void EventEngine::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   // resolved_ must drain too: a pre-reset arrival silently applied to
   // post-reset clocks would be a far worse bug than this abort.
   SPARDL_CHECK(flows_.empty() && queue_.Empty() && resolved_.empty())
@@ -162,18 +162,18 @@ void EventEngine::Reset() {
 }
 
 bool EventEngine::Idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   return flows_.empty() && queue_.Empty() && resolved_.empty();
 }
 
 LinkUsage EventEngine::link_usage(LinkId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   SPARDL_CHECK(id >= 0 && id < static_cast<int>(links_.size()));
   return links_[static_cast<size_t>(id)].usage();
 }
 
 void EventEngine::set_trace_recorder(TraceRecorder* recorder) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mu_);
   trace_recorder_ = recorder;
 }
 

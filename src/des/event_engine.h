@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockcheck.h"
 #include "topo/topology.h"
 
 namespace spardl {
@@ -144,8 +145,9 @@ class EventEngine {
   EventEngine& operator=(const EventEngine&) = delete;
 
   /// The engine mutex. `Network` holds it (via `std::unique_lock`) across
-  /// every event-mode mailbox/barrier/sync operation.
-  std::mutex& mu() { return mu_; }
+  /// every event-mode mailbox/barrier/sync operation. Lock-order checked
+  /// in debug builds (family "simnet.engine").
+  lockcheck::OrderedMutex& mu() { return mu_; }
 
   /// Worker-thread registration (from `Cluster::Run`): `BlockUntil` pumps
   /// only when all registered workers are blocked. With no registrations
@@ -177,7 +179,7 @@ class EventEngine {
   /// bug); `describe` is invoked only then, so callers can defer
   /// diagnostic formatting off the per-message hot path. Caller holds
   /// `mu()` via `lock`.
-  void BlockUntil(std::unique_lock<std::mutex>& lock,
+  void BlockUntil(std::unique_lock<lockcheck::OrderedMutex>& lock,
                   const std::function<bool()>& pred, double timeout_seconds,
                   const std::function<std::string()>& describe);
 
@@ -216,8 +218,10 @@ class EventEngine {
   bool AnySleeperReadyLocked() const;
 
   const Topology& topology_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable lockcheck::OrderedMutex mu_{"simnet.engine"};
+  /// `_any` so waits release/re-acquire through the checked mutex (the
+  /// held-lock stack stays exact across the wait).
+  std::condition_variable_any cv_;
 
   int active_ = 0;   // registered worker threads
   int blocked_ = 0;  // threads currently inside BlockUntil

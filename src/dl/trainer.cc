@@ -224,7 +224,9 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
       std::vector<double>(static_cast<size_t>(p), 0.0));
   std::vector<double> checksums(static_cast<size_t>(p), 0.0);
 
-  cluster.Run([&](Comm& comm) {
+  // With `Cluster::EnableProtocolCheck` on, a divergent collective
+  // schedule surfaces here as the verifier's diagnosis instead of a hang.
+  SPARDL_CHECK_OK(cluster.Run([&](Comm& comm) {
     const int rank = comm.rank();
     const auto rank_idx = static_cast<size_t>(rank);
     std::unique_ptr<Model> model = model_factory(config.model_seed);
@@ -373,7 +375,7 @@ TrainResult TrainDistributed(Cluster& cluster, const Dataset& dataset,
       comm.Barrier();  // everyone waits for the evaluation to finish
     }
     checksums[rank_idx] = model->ParamChecksum();
-  });
+  }));
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     double loss = 0.0;

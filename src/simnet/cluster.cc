@@ -28,7 +28,12 @@ Cluster::Cluster(std::unique_ptr<Network> network)
 
 Cluster::~Cluster() = default;
 
-void Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
+Status Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
+  SPARDL_CHECK(!poisoned_)
+      << "Cluster::Run after a protocol violation: workers were unwound "
+         "mid-collective, so the simulated state is inconsistent";
+  ProtocolChecker* checker = protocol_checker_.get();
+  if (checker != nullptr) checker->BeginRun();
   std::vector<std::thread> threads;
   threads.reserve(comms_.size());
   Network* network = network_.get();
@@ -40,18 +45,39 @@ void Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
   // the startup-timing dependence the engine exists to eliminate.
   for (size_t i = 0; i < comms_.size(); ++i) network->WorkerEnter();
   for (auto& comm : comms_) {
-    threads.emplace_back([&worker_fn, &comm, network] {
-      worker_fn(*comm);
+    threads.emplace_back([&worker_fn, &comm, network, checker] {
+      try {
+        worker_fn(*comm);
+        // A worker that returns while a peer still waits on it is itself
+        // a divergence; the checker diagnoses it from this transition.
+        if (checker != nullptr) checker->OnWorkerDone(comm->rank());
+      } catch (const ProtocolViolation&) {
+        // The diagnosis is latched in the checker; just unwind this
+        // worker. (Only thrown when a checker is attached.)
+      }
+      if (checker != nullptr && checker->failed()) {
+        // Wake any peers still blocked so they observe the failure and
+        // unwind too — whoever detected first may have been this thread.
+        network->InterruptWaiters();
+      }
       // A worker that returns must deregister, or the remaining workers
       // could never all be "blocked".
       network->WorkerExit();
     });
   }
   for (auto& t : threads) t.join();
+  if (checker != nullptr && checker->failed()) {
+    // Unwound mid-collective: mailboxes may hold orphaned messages and
+    // the engine unresolved flows — by design. Poison instead of
+    // CHECKing the end-of-run invariants.
+    poisoned_ = true;
+    return checker->status();
+  }
   SPARDL_CHECK(network_->AllMailboxesEmpty())
       << "worker function left unconsumed messages in the network";
   SPARDL_CHECK(network_->SimIdle())
       << "worker function left unresolved flows in the event engine";
+  return Status::OK();
 }
 
 TraceRecorder& Cluster::EnableTracing() {
@@ -61,6 +87,17 @@ TraceRecorder& Cluster::EnableTracing() {
     network_->AttachTraceRecorder(trace_recorder_.get());
   }
   return *trace_recorder_;
+}
+
+ProtocolChecker& Cluster::EnableProtocolCheck() {
+  if (!protocol_checker_) {
+    protocol_checker_ = std::make_unique<ProtocolChecker>(size());
+    for (auto& comm : comms_) {
+      comm->set_protocol_checker(protocol_checker_.get());
+    }
+    network_->set_protocol_checker(protocol_checker_.get());
+  }
+  return *protocol_checker_;
 }
 
 double Cluster::MaxSimSeconds() const {

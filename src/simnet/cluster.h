@@ -5,8 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "simnet/comm.h"
 #include "simnet/network.h"
+#include "simnet/protocol_check.h"
 #include "topo/topology_spec.h"
 
 namespace spardl {
@@ -59,9 +61,29 @@ class Cluster {
   /// The attached recorder, or null when tracing is off.
   TraceRecorder* tracer() const { return trace_recorder_.get(); }
 
+  /// Turns on SPMD protocol verification for this cluster (idempotent;
+  /// off by default — the hooks cost one virtualless branch each when
+  /// off). Call between runs, not while workers execute. With checking
+  /// on, a divergent collective schedule (mismatched tag, unequal round
+  /// counts, wrong team size, mixed barrier kinds) makes `Run` return a
+  /// diagnostic `Status` naming both workers' op traces instead of
+  /// deadlocking until the wall-clock timeout.
+  ProtocolChecker& EnableProtocolCheck();
+
+  /// The attached verifier, or null when checking is off.
+  ProtocolChecker* protocol_checker() const {
+    return protocol_checker_.get();
+  }
+
   /// Runs `worker_fn(comm)` on every rank concurrently; returns when all
   /// workers finish. CHECK failures inside workers abort the process.
-  void Run(const std::function<void(Comm&)>& worker_fn);
+  ///
+  /// Returns OK unless protocol checking (`EnableProtocolCheck`) is on
+  /// and diagnosed a divergence — then every worker is unwound and the
+  /// diagnosis is returned. After a non-OK return the cluster's simulated
+  /// state is inconsistent (the run never completed); calling `Run` again
+  /// CHECK-fails.
+  Status Run(const std::function<void(Comm&)>& worker_fn);
 
   /// Max simulated clock across workers (the cluster's makespan).
   double MaxSimSeconds() const;
@@ -86,6 +108,10 @@ class Cluster {
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Comm>> comms_;
   std::unique_ptr<TraceRecorder> trace_recorder_;
+  std::unique_ptr<ProtocolChecker> protocol_checker_;
+  /// Set once a run returned non-OK: workers were unwound mid-collective,
+  /// so mailboxes/clocks are garbage and further runs must not start.
+  bool poisoned_ = false;
 };
 
 }  // namespace spardl

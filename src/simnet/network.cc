@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "simnet/protocol_check.h"
 #include "topo/topologies.h"
 
 namespace spardl {
@@ -64,6 +65,38 @@ void Network::SetWorkerSlowdown(int rank, double factor) {
   topology_->SetNodeScale(rank, factor);
 }
 
+bool Network::interrupted() const {
+  return protocol_ != nullptr && protocol_->failed();
+}
+
+void Network::ThrowIfInterrupted() const {
+  if (interrupted()) throw ProtocolViolation(protocol_->status());
+}
+
+void Network::InterruptWaiters() {
+  if (engine_) {
+    std::lock_guard<lockcheck::OrderedMutex> lock(engine_->mu());
+    engine_->NotifyAllLocked();
+    return;
+  }
+  // Take each mutex briefly before notifying: the failure flag is already
+  // visible (it is set before this call), so holding the lock closes the
+  // window where a waiter checked its predicate before the flag flipped
+  // but has not gone to sleep yet.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<lockcheck::OrderedMutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<lockcheck::OrderedMutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+  {
+    std::lock_guard<lockcheck::OrderedMutex> lock(sync_mutex_);
+    sync_cv_.notify_all();
+  }
+}
+
 void Network::Post(int src, int dst, Packet packet) {
   SPARDL_DCHECK(src >= 0 && src < size_);
   SPARDL_DCHECK(dst >= 0 && dst < size_);
@@ -72,7 +105,7 @@ void Network::Post(int src, int dst, Packet packet) {
     // Inject the flow at *send* time: its route and logical injection time
     // are fully known here, and charging from the sender side is what
     // frees the engine from receiver-thread ordering.
-    std::unique_lock<std::mutex> lock(engine_->mu());
+    std::unique_lock<lockcheck::OrderedMutex> lock(engine_->mu());
     packet.flow =
         engine_->InjectFlowLocked(src, dst, packet.words, packet.sent_at);
     box.queue.push_back(std::move(packet));
@@ -80,7 +113,7 @@ void Network::Post(int src, int dst, Packet packet) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    std::lock_guard<lockcheck::OrderedMutex> lock(box.mutex);
     box.queue.push_back(std::move(packet));
   }
   box.cv.notify_all();
@@ -95,10 +128,11 @@ Network::Delivered Network::RecvPacket(int src, int dst, int tag,
       while (it != box.queue.end() && it->tag != tag) ++it;
       return it;
     };
-    std::unique_lock<std::mutex> lock(engine_->mu());
+    std::unique_lock<lockcheck::OrderedMutex> lock(engine_->mu());
     engine_->BlockUntil(
         lock,
         [&] {
+          if (interrupted()) return true;  // monotonic, pred stays pure
           const auto it = find_tag();
           return it != box.queue.end() && engine_->ResolvedLocked(it->flow);
         },
@@ -106,6 +140,7 @@ Network::Delivered Network::RecvPacket(int src, int dst, int tag,
           return StrFormat("Recv dst=%d src=%d tag=%d (event engine)", dst,
                            src, tag);
         });
+    ThrowIfInterrupted();
     const auto it = find_tag();
     Delivered delivered{std::move(*it), 0.0};
     box.queue.erase(it);
@@ -123,6 +158,16 @@ Network::Delivered Network::RecvPacket(int src, int dst, int tag,
   return delivered;
 }
 
+// GCC 12's -Wmaybe-uninitialized misfires on the NRVO'd move-out of the
+// queue entry below: after inlining Packet's move constructor it reasons
+// about the moved-from std::variant alternative's internal vector
+// pointers, which are never read again (the std::variant + inlining
+// false-positive family, gcc PR 105593 et al.). Narrow, documented
+// suppression; the code is a plain move-then-erase.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 Packet Network::Take(int src, int dst, int tag) {
   // Event-mode mailboxes are guarded by the engine mutex and never signal
   // box.cv — a raw Take there would race and hang. Fail loudly instead.
@@ -130,12 +175,13 @@ Packet Network::Take(int src, int dst, int tag) {
       << "Take() bypasses the event engine; use RecvPacket on "
          "event-ordered fabrics";
   Mailbox& box = BoxFor(src, dst);
-  std::unique_lock<std::mutex> lock(box.mutex);
+  std::unique_lock<lockcheck::OrderedMutex> lock(box.mutex);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(recv_timeout_seconds_));
   for (;;) {
+    ThrowIfInterrupted();
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (it->tag == tag) {
         Packet packet = std::move(*it);
@@ -149,6 +195,9 @@ Packet Network::Take(int src, int dst, int tag) {
         << " tag=" << tag << " — collective deadlock?";
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void Network::BarrierWait() {
   // One state machine for both engines; only the mutex/wait primitive
@@ -161,25 +210,32 @@ void Network::BarrierWait() {
     return true;  // last arriver releases everyone
   };
   if (engine_) {
-    std::unique_lock<std::mutex> lock(engine_->mu());
+    std::unique_lock<lockcheck::OrderedMutex> lock(engine_->mu());
     const uint64_t my_generation = barrier_generation_;
     if (arrive()) {
       engine_->NotifyAllLocked();
       return;
     }
     engine_->BlockUntil(
-        lock, [&] { return barrier_generation_ != my_generation; },
+        lock,
+        [&] {
+          return barrier_generation_ != my_generation || interrupted();
+        },
         recv_timeout_seconds_,
         [] { return std::string("BarrierWait (event engine)"); });
+    ThrowIfInterrupted();
     return;
   }
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  std::unique_lock<lockcheck::OrderedMutex> lock(barrier_mutex_);
   const uint64_t my_generation = barrier_generation_;
   if (arrive()) {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation || interrupted();
+  });
+  ThrowIfInterrupted();
 }
 
 double Network::MaxClockSync(int rank, double value) {
@@ -195,38 +251,43 @@ double Network::MaxClockSync(int rank, double value) {
     return true;  // last publisher latches the max
   };
   if (engine_) {
-    std::unique_lock<std::mutex> lock(engine_->mu());
+    std::unique_lock<lockcheck::OrderedMutex> lock(engine_->mu());
     const uint64_t my_generation = sync_generation_;
     if (publish()) {
       engine_->NotifyAllLocked();
       return sync_result_;
     }
     engine_->BlockUntil(
-        lock, [&] { return sync_generation_ != my_generation; },
+        lock,
+        [&] { return sync_generation_ != my_generation || interrupted(); },
         recv_timeout_seconds_,
         [] { return std::string("MaxClockSync (event engine)"); });
+    ThrowIfInterrupted();
     return sync_result_;
   }
-  std::unique_lock<std::mutex> lock(sync_mutex_);
+  std::unique_lock<lockcheck::OrderedMutex> lock(sync_mutex_);
   const uint64_t my_generation = sync_generation_;
   if (publish()) {
     sync_cv_.notify_all();
     return sync_result_;
   }
-  sync_cv_.wait(lock, [&] { return sync_generation_ != my_generation; });
+  sync_cv_.wait(lock, [&] {
+    return sync_generation_ != my_generation || interrupted();
+  });
+  ThrowIfInterrupted();
   return sync_result_;
 }
 
 bool Network::AllMailboxesEmpty() const {
   if (engine_) {
-    std::lock_guard<std::mutex> lock(engine_->mu());
+    std::lock_guard<lockcheck::OrderedMutex> lock(engine_->mu());
     for (const auto& box : mailboxes_) {
       if (!box->queue.empty()) return false;
     }
     return true;
   }
   for (const auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mutex);
+    std::lock_guard<lockcheck::OrderedMutex> lock(box->mutex);
     if (!box->queue.empty()) return false;
   }
   return true;

@@ -9,12 +9,15 @@
 #include <variant>
 #include <vector>
 
+#include "common/lockcheck.h"
 #include "des/event_engine.h"
 #include "simnet/cost_model.h"
 #include "sparse/sparse_vector.h"
 #include "topo/topology.h"
 
 namespace spardl {
+
+class ProtocolChecker;
 
 /// Message payloads the simulated network can carry.
 ///
@@ -155,12 +158,35 @@ class Network {
   /// True if every mailbox is empty (test hook: no stray messages).
   bool AllMailboxesEmpty() const;
 
+  /// Attaches the SPMD protocol verifier (see `simnet/protocol_check.h`).
+  /// Once attached, every blocking wait also watches `checker->failed()`
+  /// and throws `ProtocolViolation` instead of waiting out a diagnosed
+  /// divergence. Call while no worker threads run
+  /// (`Cluster::EnableProtocolCheck` does).
+  void set_protocol_checker(ProtocolChecker* checker) {
+    protocol_ = checker;
+  }
+
+  /// Wakes every thread blocked in a receive, barrier, or clock sync so it
+  /// can observe a diagnosed protocol violation and unwind. Called by the
+  /// detecting thread (which holds no network locks).
+  void InterruptWaiters();
+
  private:
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    /// Busy-until engine only (event mode guards mailboxes with the
+    /// engine mutex). All P^2 mailbox mutexes are one lock-order family.
+    lockcheck::OrderedMutex mutex{"simnet.mailbox"};
+    std::condition_variable_any cv;
     std::deque<Packet> queue;
   };
+
+  /// Throws `ProtocolViolation` when the attached checker has diagnosed a
+  /// divergence (no-op otherwise). Called at every wait site.
+  void ThrowIfInterrupted() const;
+
+  /// Lock-free poll for wait predicates.
+  bool interrupted() const;
 
   Mailbox& BoxFor(int src, int dst) {
     return *mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
@@ -177,20 +203,21 @@ class Network {
   /// state below; the per-mailbox mutexes and `barrier_mutex_`/`sync_mutex_`
   /// go unused.
   std::unique_ptr<EventEngine> engine_;
+  ProtocolChecker* protocol_ = nullptr;
   int size_;
   double recv_timeout_seconds_ = 120.0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Reusable barrier (generation-counted; std::barrier needs a fixed
   // completion type, a hand-rolled one is simpler to reuse).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
+  lockcheck::OrderedMutex barrier_mutex_{"simnet.barrier"};
+  std::condition_variable_any barrier_cv_;
   int barrier_waiting_ = 0;
   uint64_t barrier_generation_ = 0;
 
   // Max-clock sync state.
-  std::mutex sync_mutex_;
-  std::condition_variable sync_cv_;
+  lockcheck::OrderedMutex sync_mutex_{"simnet.sync"};
+  std::condition_variable_any sync_cv_;
   int sync_count_ = 0;
   double sync_max_ = 0.0;
   double sync_result_ = 0.0;

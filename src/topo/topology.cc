@@ -35,7 +35,8 @@ LinkId Topology::AddLink(int tail, int head, double alpha, double beta) {
   SPARDL_CHECK_GE(head, 0);
   SPARDL_CHECK_GE(alpha, 0.0);
   SPARDL_CHECK_GE(beta, 0.0);
-  links_.push_back(LinkState{tail, head, alpha, beta});
+  links_.push_back(LinkState{.tail = tail, .head = head, .alpha = alpha,
+                             .beta = beta});
   return static_cast<LinkId>(links_.size()) - 1;
 }
 
@@ -55,7 +56,7 @@ void Topology::SetNodeScale(int node, double factor) {
 }
 
 void Topology::ResetLinkClocks() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mutex_);
   for (LinkState& link : links_) {
     link.busy_until = 0.0;
     link.usage = LinkUsage{};
@@ -71,7 +72,7 @@ LinkInfo Topology::link_info(LinkId id) const {
 
 LinkUsage Topology::link_usage(LinkId id) const {
   SPARDL_CHECK(id >= 0 && id < num_links());
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mutex_);
   return links_[static_cast<size_t>(id)].usage;
 }
 
@@ -83,14 +84,15 @@ double Topology::ChargeMessage(int src, int dst, size_t words,
   Route(src, dst, &path);
   SPARDL_DCHECK(!path.empty()) << "empty route " << src << "->" << dst;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<lockcheck::OrderedMutex> lock(mutex_);
   double head = sent_at;     // when the message header reaches each hop
   double bottleneck = 0.0;   // slowest link's serialization time
   for (LinkId id : path) {
     LinkState& link = links_[static_cast<size_t>(id)];
     const double wait = link.busy_until > head ? link.busy_until - head : 0.0;
     const double start = head + wait;
-    const double serialize = link.beta * link.scale * words;
+    const double serialize =
+        link.beta * link.scale * static_cast<double>(words);
     head = start + link.alpha * link.scale;
     // The link stays occupied until the whole body has crossed it.
     link.busy_until = head + serialize;

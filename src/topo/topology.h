@@ -3,11 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lockcheck.h"
 #include "obs/trace.h"
 #include "simnet/cost_model.h"
 
@@ -188,7 +188,7 @@ class Topology {
     double beta;
     double scale = 1.0;
     double busy_until = 0.0;
-    LinkUsage usage;
+    LinkUsage usage{};
   };
 
   int num_workers_;
@@ -198,7 +198,10 @@ class Topology {
   std::vector<std::vector<LinkId>> ingress_links_;  // per worker
   std::vector<double> node_scale_;                  // per worker
   TraceRecorder* trace_recorder_ = nullptr;
-  mutable std::mutex mutex_;
+  /// Guards the busy-until charge loop (and its trace/link-usage
+  /// recording). Lock-order checked in debug builds; it nests inside
+  /// nothing and nothing nests inside it.
+  mutable lockcheck::OrderedMutex mutex_{"topo.charge"};
 };
 
 }  // namespace spardl

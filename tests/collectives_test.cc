@@ -16,7 +16,7 @@ using ::spardl::testing::RunOnCluster;
 SparseVector RankVector(int rank) {
   // Distinct, overlapping supports across ranks.
   SparseVector v;
-  v.PushBack(static_cast<GradIndex>(rank), 1.0f + rank);
+  v.PushBack(static_cast<GradIndex>(rank), 1.0f + static_cast<float>(rank));
   v.PushBack(static_cast<GradIndex>(100 + 2 * rank), -1.0f);
   return v;
 }

@@ -88,7 +88,8 @@ TEST(QuantizeTest, ErrorBoundedByHalfStep) {
     SparseVector copy = original;
     SparseVector error;
     QuantizeDequantize(&copy, bits, &error);
-    const float step = max_abs / ((1 << (bits - 1)) - 1);
+    const float step =
+        max_abs / static_cast<float>((1 << (bits - 1)) - 1);
     for (size_t i = 0; i < copy.size(); ++i) {
       EXPECT_NEAR(copy.value(i), original.value(i), step * 0.5f + 1e-6f)
           << "bits=" << bits;
