@@ -45,6 +45,7 @@ void LazyVsEager(const bench::HarnessArgs& args) {
   for (bool lazy : {false, true}) {
     Cluster cluster(
         *args.TopologyOr(TopologySpec::Flat(p, CostModel::Ethernet()), p));
+    bench::ApplyExecBackend(cluster);
     const double wall = WallSeconds([&] {
       for (int iter = 0; iter < iterations; ++iter) {
         cluster.Run([&](Comm& comm) {
@@ -77,6 +78,7 @@ void BruckVsRecursiveDoubling(const bench::HarnessArgs& args) {
                                : std::vector<int>{8, 12, 14};
   for (int p : sweep) {
     Cluster cluster(p, CostModel::Ethernet());
+    bench::ApplyExecBackend(cluster);
     cluster.Run([&](Comm& comm) {
       SparseVector mine;
       mine.PushBack(static_cast<GradIndex>(comm.rank()), 1.0f);

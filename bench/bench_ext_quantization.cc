@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     config.value_bits = bits;
     Cluster cluster(
         *args.TopologyOr(TopologySpec::Flat(p, CostModel::Ethernet()), p));
+    bench::ApplyExecBackend(cluster);
     std::vector<std::unique_ptr<SparseAllReduce>> algos(
         static_cast<size_t>(p));
     for (int r = 0; r < p; ++r) {

@@ -31,27 +31,51 @@ int main(int argc, char** argv) {
   using namespace spardl;  // NOLINT
   const bench::HarnessArgs args = bench::ParseHarnessArgs(argc, argv);
   const int p = args.workers_or(8);
-  // Paper-shaped but laptop-sized: 4M params, k/n = 1%.
+  // Large-P mode (P >= 256, the cooperative backend's territory): the
+  // direct-send methods (topka; oktopk's threshold phase also fans in
+  // P-wise) would materialise Theta(P^2) packets, so the sweep keeps the
+  // log-round methods only, and k/n shrinks to 0.1% to bound per-worker
+  // candidate volume.
+  const bool large_p = p >= 256;
+  // Paper-shaped but laptop-sized: 4M params, k/n = 1% (0.1% large-P).
   const ModelProfile profile = {"-", "synthetic", "-", 4'000'000, 0.0};
-  const std::vector<std::string> algos = {"topka", "gtopk", "oktopk",
-                                          "spardl"};
+  const double k_ratio = large_p ? 0.001 : 0.01;
+  const std::vector<std::string> algos =
+      large_p ? std::vector<std::string>{"gtopk", "spardl"}
+              : std::vector<std::string>{"topka", "gtopk", "oktopk",
+                                         "spardl"};
   const CostModel cm = CostModel::Ethernet();
   std::vector<TopologySpec> fabrics;
   if (args.topology.has_value()) {
     fabrics = {*args.TopologyOr(std::nullopt, p, cm)};
   } else {
     fabrics = bench::DefaultFabricSweep(p, cm);
+    if (large_p) {
+      // O(P)-diameter fabrics turn every log-round exchange into
+      // thousands of per-hop events; they are small-P illustrations.
+      std::erase_if(fabrics, [](const TopologySpec& spec) {
+        return spec.kind == TopologyKind::kRing ||
+               spec.kind == TopologyKind::kTorus;
+      });
+    }
     if (args.engine.has_value()) {
       for (TopologySpec& fabric : fabrics) fabric.engine = *args.engine;
     }
+  }
+  if (large_p) {
+    std::printf(
+        "[large-P] P=%d: direct-send methods and O(P)-diameter fabrics "
+        "excluded; k/n=0.1%%.\n\n",
+        p);
   }
 
   std::printf(
       "== Extension: sparse All-Reduce across network topologies ==\n"
       "Per-update communication seconds (max over workers) on the same\n"
-      "synthetic n=%zu, k/n=1%% workload, P=%d. 'vs flat' is the fabric's\n"
+      "synthetic n=%zu, k/n=%.1f%% workload, P=%d. 'vs flat' is the "
+      "fabric's\n"
       "slowdown over the paper's flat alpha-beta model for that method.\n\n",
-      profile.num_params, p);
+      profile.num_params, k_ratio * 100.0, p);
 
   std::vector<std::string> header = {"topology"};
   for (const std::string& algo : algos) {
@@ -63,7 +87,7 @@ int main(int argc, char** argv) {
   for (const TopologySpec& spec : fabrics) {
     bench::PerUpdateOptions options;
     options.num_workers = p;
-    options.k_ratio = 0.01;
+    options.k_ratio = k_ratio;
     options.topology = spec;
     options.placement = args.placement_or(PlacementPolicy::kContiguous);
     options.measured_iterations = args.iterations_or(2);
@@ -99,7 +123,7 @@ int main(int argc, char** argv) {
       for (PlacementPolicy policy : AllPlacementPolicies()) {
         bench::PerUpdateOptions options;
         options.num_workers = p;
-        options.k_ratio = 0.01;
+        options.k_ratio = k_ratio;
         options.topology = spec;
         options.num_teams = 2;
         options.placement = policy;

@@ -37,6 +37,7 @@ std::vector<double> EpochTimes(const bench::HarnessArgs& args,
 
   Cluster cluster(
       *args.TopologyOr(TopologySpec::Flat(p, CostModel::Ethernet()), p));
+  bench::ApplyExecBackend(cluster);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
       static_cast<size_t>(p));
   for (int r = 0; r < p; ++r) {

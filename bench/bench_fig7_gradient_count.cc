@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   config.residual_mode = ResidualMode::kNone;
 
   Cluster cluster(p, CostModel::Free());
+  bench::ApplyExecBackend(cluster);
   std::vector<std::unique_ptr<SparDL>> algos(static_cast<size_t>(p));
   for (int r = 0; r < p; ++r) {
     algos[static_cast<size_t>(r)] = std::move(*SparDL::Create(config));

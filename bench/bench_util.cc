@@ -18,11 +18,13 @@ namespace {
 
 constexpr const char* kFlagHelp =
     "(supported flags: --workers N, --iterations N, --topology SPEC, "
-    "--engine busy|event, --placement contiguous|rack|interleaved, "
+    "--engine busy|event, --backend thread|fiber, "
+    "--placement contiguous|rack|interleaved, "
     "--trace-out PATH, --metrics-out PATH, --metrics-csv PATH, "
     "--timeseries-out PATH, --protocol-check; env "
     "SPARDL_BENCH_WORKERS, SPARDL_BENCH_ITERATIONS, SPARDL_BENCH_TOPOLOGY, "
-    "SPARDL_BENCH_ENGINE, SPARDL_BENCH_PLACEMENT, SPARDL_BENCH_TRACE_OUT, "
+    "SPARDL_BENCH_ENGINE, SPARDL_BENCH_BACKEND, SPARDL_BENCH_PLACEMENT, "
+    "SPARDL_BENCH_TRACE_OUT, "
     "SPARDL_BENCH_METRICS_OUT, SPARDL_BENCH_METRICS_CSV, "
     "SPARDL_BENCH_TIMESERIES_OUT, SPARDL_BENCH_PROTOCOL_CHECK)";
 
@@ -51,6 +53,13 @@ ObsConfig& GlobalObs() {
 bool& GlobalProtocolCheck() {
   static bool enabled = false;
   return enabled;
+}
+
+/// Process-global `--backend` override, installed by `ParseHarnessArgs`
+/// (nullopt = keep each cluster's process default).
+std::optional<ExecBackend>& GlobalExecBackend() {
+  static std::optional<ExecBackend> backend;
+  return backend;
 }
 
 [[noreturn]] void DieWriteFailure(const std::string& path) {
@@ -125,6 +134,15 @@ PlacementPolicy ParsePlacementOrDie(const std::string& text) {
   return *parsed;
 }
 
+ExecBackend ParseBackendOrDie(const std::string& text) {
+  if (text == "thread") return ExecBackend::kThread;
+  if (text == "fiber") return ExecBackend::kFiber;
+  std::fprintf(stderr,
+               "bad value '%s' for --backend: want thread|fiber %s\n",
+               text.c_str(), kFlagHelp);
+  std::exit(2);
+}
+
 ChargeEngine ParseEngineOrDie(const std::string& text) {
   if (text == "busy" || text == "busy-until") return ChargeEngine::kBusyUntil;
   if (text == "event" || text == "event-ordered") {
@@ -157,6 +175,9 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   if (auto engine = EnvString("SPARDL_BENCH_ENGINE")) {
     args.engine = ParseEngineOrDie(*engine);
   }
+  if (auto backend = EnvString("SPARDL_BENCH_BACKEND")) {
+    args.backend = ParseBackendOrDie(*backend);
+  }
   if (auto placement = EnvString("SPARDL_BENCH_PLACEMENT")) {
     args.placement = ParsePlacementOrDie(*placement);
   }
@@ -176,6 +197,8 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
       args.topology = *topo;
     } else if (auto engine = MatchStringFlag("engine", argc, argv, &i)) {
       args.engine = ParseEngineOrDie(*engine);
+    } else if (auto backend = MatchStringFlag("backend", argc, argv, &i)) {
+      args.backend = ParseBackendOrDie(*backend);
     } else if (auto place = MatchStringFlag("placement", argc, argv, &i)) {
       args.placement = ParsePlacementOrDie(*place);
     } else if (auto trace = MatchStringFlag("trace-out", argc, argv, &i)) {
@@ -199,6 +222,7 @@ HarnessArgs ParseHarnessArgs(int argc, char** argv) {
   obs.metrics_csv = args.metrics_csv;
   obs.timeseries_out = args.timeseries_out;
   GlobalProtocolCheck() = args.protocol_check;
+  GlobalExecBackend() = args.backend;
   return args;
 }
 
@@ -212,6 +236,12 @@ bool ProtocolCheckEnabled() { return GlobalProtocolCheck(); }
 
 void MaybeEnableProtocolCheck(Cluster& cluster) {
   if (ProtocolCheckEnabled()) cluster.EnableProtocolCheck();
+}
+
+void ApplyExecBackend(Cluster& cluster) {
+  if (GlobalExecBackend().has_value()) {
+    cluster.set_exec_backend(*GlobalExecBackend());
+  }
 }
 
 namespace {
@@ -382,6 +412,7 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   config.placement = std::move(*placement);
 
   Cluster cluster(fabric);
+  ApplyExecBackend(cluster);
   MaybeEnableObservability(cluster);
   MaybeEnableProtocolCheck(cluster);
   std::vector<std::unique_ptr<SparseAllReduce>> algos(
@@ -392,7 +423,10 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
     algos[static_cast<size_t>(r)] = std::move(*created);
   }
 
-  const ProfileGradientGenerator generator(n, options.seed);
+  ProfileGradientGenerator generator(n, options.seed);
+  for (const auto& [worker, factor] : options.compute_multipliers) {
+    generator.SetComputeMultiplier(worker, factor);
+  }
   PerUpdateResult result;
   result.algo_label = std::string(algos[0]->name());
   result.compute_seconds = profile.compute_seconds;
@@ -402,6 +436,15 @@ PerUpdateResult MeasurePerUpdate(const std::string& algo_name,
   for (int iter = 0; iter < total_iterations; ++iter) {
     if (iter == options.warmup_iterations) cluster.ResetClocksAndStats();
     SPARDL_CHECK_OK(cluster.Run([&](Comm& comm) {
+      // Heterogeneous-compute mode charges each worker's (scaled)
+      // forward+backward time to its clock, so compute-slow workers
+      // arrive at the exchange late and show up as stragglers. Gated on
+      // the skew being configured: homogeneous runs keep the legacy
+      // communication-only measurement byte-for-byte.
+      if (generator.has_compute_skew()) {
+        comm.Compute(generator.ComputeSeconds(comm.rank(),
+                                              profile.compute_seconds));
+      }
       const SparseVector candidates = generator.Generate(
           comm.rank(), iter, candidates_per_worker);
       algos[static_cast<size_t>(comm.rank())]->RunOnSparse(comm,

@@ -22,6 +22,7 @@ namespace bench {
 ///   --iterations=N / --iterations N measured iterations override
 ///   --topology=SPEC                 fabric override ("fattree:4x8x2", ...)
 ///   --engine=busy|event             charge engine override
+///   --backend=thread|fiber          worker execution backend override
 ///   --placement=POLICY              team layout (contiguous|rack|interleaved)
 ///   --trace-out=PATH                Chrome trace JSON of the last traced run
 ///   --metrics-out=PATH              structured run-metrics JSON (all runs)
@@ -30,6 +31,7 @@ namespace bench {
 ///
 /// with `SPARDL_BENCH_WORKERS` / `SPARDL_BENCH_ITERATIONS` /
 /// `SPARDL_BENCH_TOPOLOGY` / `SPARDL_BENCH_ENGINE` /
+/// `SPARDL_BENCH_BACKEND` /
 /// `SPARDL_BENCH_PLACEMENT` / `SPARDL_BENCH_TRACE_OUT` /
 /// `SPARDL_BENCH_METRICS_OUT` / `SPARDL_BENCH_METRICS_CSV` /
 /// `SPARDL_BENCH_TIMESERIES_OUT` environment variables as defaults
@@ -48,6 +50,10 @@ struct HarnessArgs {
   /// A `TopologySpec::Parse` string (may carry a "+event" suffix).
   std::optional<std::string> topology;
   std::optional<ChargeEngine> engine;
+  /// `--backend thread|fiber`: worker execution backend for every
+  /// cluster this bench builds (unset = the process default, i.e.
+  /// `SPARDL_EXEC_BACKEND` or thread-per-worker).
+  std::optional<ExecBackend> backend;
   std::optional<PlacementPolicy> placement;
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
@@ -96,6 +102,12 @@ bool ProtocolCheckEnabled();
 /// helpers call this themselves; benches that build their own clusters
 /// should call it after construction, before running workers.
 void MaybeEnableProtocolCheck(Cluster& cluster);
+
+/// Applies the harness `--backend` selection to `cluster` (no-op when
+/// the flag was not given — the cluster then keeps the process default,
+/// `Cluster::DefaultExecBackend`). Same calling convention as
+/// `MaybeEnableProtocolCheck`: after construction, before running.
+void ApplyExecBackend(Cluster& cluster);
 
 /// Records one finished measurement run against the configured sinks:
 /// appends the run's `RunMetrics` (with its embedded critical-path
@@ -158,6 +170,14 @@ struct PerUpdateOptions {
   /// with num_teams > 1; ignored by the baselines).
   PlacementPolicy placement = PlacementPolicy::kContiguous;
   uint64_t seed = 2024;
+  /// Heterogeneous compute (the §VI extension on the compute side):
+  /// (worker, multiplier) pairs fed to
+  /// `ProfileGradientGenerator::SetComputeMultiplier`. When non-empty,
+  /// every worker charges `profile.compute_seconds` (scaled by its
+  /// multiplier) to its clock each iteration, so compute-slow workers
+  /// surface in the per-iteration straggler report. Empty (default)
+  /// keeps the legacy communication-only measurement.
+  std::vector<std::pair<int, double>> compute_multipliers;
 };
 
 /// Runs `algo_name` on synthetic candidate gradients of `profile`'s size

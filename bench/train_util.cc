@@ -111,6 +111,7 @@ ConvergenceSeries RunTrainingCase(const TrainingCaseSpec& spec,
   };
 
   Cluster cluster(fabric);
+  ApplyExecBackend(cluster);
   MaybeEnableObservability(cluster);
   MaybeEnableProtocolCheck(cluster);
   const TrainResult result = TrainDistributed(

@@ -1,11 +1,16 @@
 # Tiny perf-artifact checker: fails if BENCH_micro.json is missing, not
 # valid JSON, carries the wrong schema, has an empty/non-positive
-# "latest" section, or has a malformed per-commit "history" array — and
-# then gates on the perf trajectory itself: the newest history entry must
-# not regress more than SPARDL_BENCH_GATE_PCT percent (default 20) in
-# items/second against the previous entry on any benchmark both entries
-# carry. With fewer than two history entries the ratio gate is skipped
-# with an explicit STATUS line. Input: -DJSON_FILE=<path>.
+# "latest" section, or has a malformed "history" array — and then gates
+# on the perf trajectory itself: the newest history entry must not
+# regress more than SPARDL_BENCH_GATE_PCT percent (default 20) in
+# items/second against the most recent earlier entry *from the same
+# host* on any benchmark both entries carry. Host keying is what lets
+# the default stay strict: wall-clock numbers from different machines
+# are never compared, so a laptop entry cannot "regress" against a CI
+# runner's. When the newest entry has no same-host predecessor (first
+# run on a machine, fresh CI runner, legacy host-less entries) the ratio
+# gate is skipped with an explicit STATUS line.
+# Input: -DJSON_FILE=<path>.
 
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "CheckBenchMicroJson.cmake needs -DJSON_FILE=...")
@@ -157,12 +162,35 @@ if(NOT gate_pct MATCHES "^[0-9]+$" OR gate_pct GREATER 99)
     "SPARDL_BENCH_GATE_PCT='${gate_pct}' must be an integer in [0, 99]")
 endif()
 
-if(n_history LESS 2)
-  message(STATUS "${JSON_FILE}: ratio gate skipped — history has "
-    "${n_history} entry(ies), need at least 2")
+# The comparison pair: the newest entry vs the most recent earlier entry
+# recorded on the same host. Entries without a host key (pre-host-keying
+# artifacts, the migrated "pre-v2" entry) are unmatchable by design.
+math(EXPR newest "${n_history} - 1")
+string(JSON new_host ERROR_VARIABLE new_host_err
+  GET "${content}" history ${newest} host)
+set(previous -1)
+if(NOT new_host_err AND NOT new_host STREQUAL "")
+  math(EXPR last_prior "${n_history} - 2")
+  if(last_prior GREATER_EQUAL 0)
+    # Forward scan keeping the last match = the most recent same-host
+    # entry (foreach(RANGE) has no portable downward form).
+    foreach(i RANGE 0 ${last_prior})
+      string(JSON prev_host ERROR_VARIABLE prev_host_err
+        GET "${content}" history ${i} host)
+      if(NOT prev_host_err AND prev_host STREQUAL "${new_host}")
+        set(previous ${i})
+      endif()
+    endforeach()
+  endif()
+endif()
+
+if(new_host_err OR new_host STREQUAL "")
+  message(STATUS "${JSON_FILE}: ratio gate skipped — newest history "
+    "entry carries no host key")
+elseif(previous EQUAL -1)
+  message(STATUS "${JSON_FILE}: ratio gate skipped — no earlier history "
+    "entry from host '${new_host}'")
 else()
-  math(EXPR newest "${n_history} - 1")
-  math(EXPR previous "${n_history} - 2")
   string(JSON n_new LENGTH "${content}" history ${newest} benchmarks)
   math(EXPR last_bench "${n_new} - 1")
   set(gated 0)
@@ -181,5 +209,5 @@ else()
     math(EXPR gated "${gated} + 1")
   endforeach()
   message(STATUS "${JSON_FILE}: ratio gate OK — ${gated} benchmark(s) "
-    "within ${gate_pct}% of history[${previous}]")
+    "within ${gate_pct}% of history[${previous}] (host '${new_host}')")
 endif()

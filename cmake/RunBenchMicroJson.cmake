@@ -1,10 +1,14 @@
 # Runs bench_micro_primitives in JSON mode and refreshes BENCH_micro.json
 # at the repo root — the committed perf trajectory. The "baseline" section
 # (the pre-optimisation numbers) is preserved verbatim, "latest" always
-# mirrors this run, and every run is appended to a per-commit "history"
-# array (replacing the last entry when HEAD hasn't moved, so re-runs on
-# one commit don't spam the trajectory). A v1 artifact's "latest" is
-# migrated into the first history entry.
+# mirrors this run, and every run is appended to a "history" array keyed
+# by {commit, host} (replacing the last entry when HEAD hasn't moved AND
+# the hostname matches, so re-runs of one commit on one machine don't
+# spam the trajectory, while runs from different machines coexist). The
+# checker gates only same-host entry pairs, so the strict default
+# threshold is meaningful: wall-clock numbers from different machines are
+# never compared. A v1 artifact's "latest" is migrated into the first
+# history entry (no host — never gated against).
 #
 # Inputs: -DBENCH_BIN=<path> -DOUT_JSON=<path> -DWORK_DIR=<dir>
 # Env:    SPARDL_BENCH_MIN_TIME (seconds per benchmark, default 0.05 —
@@ -66,6 +70,13 @@ if(NOT git_result EQUAL 0 OR commit STREQUAL "")
   set(commit "unknown")
 endif()
 
+# The other half of the history key: this machine's hostname (the
+# checker's ratio gate only pairs entries whose hosts match).
+cmake_host_system_information(RESULT host QUERY HOSTNAME)
+if(host STREQUAL "")
+  set(host "unknown-host")
+endif()
+
 # Merge into the committed artifact, preserving the baseline section.
 set(out "{}")
 if(EXISTS "${OUT_JSON}")
@@ -81,7 +92,9 @@ if(baseline_err)
 endif()
 
 # History: migrate a v1 artifact's "latest" into the first entry, then
-# append this run (or replace the last entry when HEAD hasn't moved).
+# append this run (or replace the last entry when HEAD hasn't moved and
+# the entry came from this machine — a different host's entry for the
+# same commit is kept and this run appends after it).
 string(JSON history ERROR_VARIABLE history_err GET "${out}" history)
 if(history_err)
   set(history "[]")
@@ -94,6 +107,7 @@ if(history_err)
   endif()
 endif()
 string(JSON entry SET "{}" commit "\"${commit}\"")
+string(JSON entry SET "${entry}" host "\"${host}\"")
 string(JSON entry SET "${entry}" benchmarks "${latest}")
 string(JSON n_history LENGTH "${history}")
 set(slot ${n_history})
@@ -101,7 +115,12 @@ if(n_history GREATER 0)
   math(EXPR last_entry "${n_history} - 1")
   string(JSON last_commit ERROR_VARIABLE last_commit_err
     GET "${history}" ${last_entry} commit)
-  if(NOT last_commit_err AND last_commit STREQUAL "${commit}")
+  # Legacy entries carry no host; they never match, so a re-run appends
+  # rather than overwriting another machine's (or era's) numbers.
+  string(JSON last_host ERROR_VARIABLE last_host_err
+    GET "${history}" ${last_entry} host)
+  if(NOT last_commit_err AND last_commit STREQUAL "${commit}"
+     AND NOT last_host_err AND last_host STREQUAL "${host}")
     set(slot ${last_entry})
   endif()
 endif()
@@ -114,4 +133,4 @@ string(JSON out SET "${out}" history "${history}")
 file(WRITE "${OUT_JSON}" "${out}\n")
 string(JSON n_history LENGTH "${history}")
 message(STATUS "Wrote ${n_benchmarks} benchmark entries to ${OUT_JSON} "
-  "(history: ${n_history} commits, HEAD ${commit})")
+  "(history: ${n_history} entries, HEAD ${commit}, host ${host})")

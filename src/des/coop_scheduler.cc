@@ -1,0 +1,131 @@
+#include "des/coop_scheduler.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+#include "des/event_engine.h"
+
+namespace spardl {
+
+namespace {
+
+/// The scheduler whose fiber is running on this OS thread (null on a
+/// plain thread). One level only: schedulers do not nest.
+thread_local CoopScheduler* g_current_scheduler = nullptr;
+
+}  // namespace
+
+CoopScheduler::CoopScheduler() = default;
+CoopScheduler::~CoopScheduler() = default;
+
+CoopScheduler* CoopScheduler::Current() { return g_current_scheduler; }
+
+void CoopScheduler::Run(int num_workers, EventEngine* engine,
+                        const std::function<void(int)>& body) {
+  SPARDL_CHECK(g_current_scheduler == nullptr)
+      << "nested CoopScheduler::Run";
+  SPARDL_CHECK_GE(num_workers, 1);
+  engine_ = engine;
+  slots_.clear();
+  slots_.resize(static_cast<size_t>(num_workers));
+  const size_t stack_bytes = FiberStackBytes();
+  for (int rank = 0; rank < num_workers; ++rank) {
+    slots_[static_cast<size_t>(rank)].fiber = std::make_unique<Fiber>(
+        [rank, &body] { body(rank); }, stack_bytes);
+  }
+  g_current_scheduler = this;
+  int done = 0;
+  while (done < num_workers) {
+    // Run every runnable worker once, in rank order. A worker returns
+    // control only by blocking (state -> kWaiting) or finishing.
+    bool progressed = false;
+    for (int rank = 0; rank < num_workers; ++rank) {
+      WorkerSlot& slot = slots_[static_cast<size_t>(rank)];
+      if (slot.state != State::kRunnable) continue;
+      progressed = true;
+      current_ = rank;
+      slot.fiber->Resume();
+      current_ = -1;
+      if (slot.fiber->finished()) {
+        slot.state = State::kDone;
+        ++done;
+      }
+    }
+    if (done >= num_workers) break;
+    if (WakeReadyWaiters()) continue;
+    if (progressed) continue;  // fresh blocks may have changed state
+    if (engine_ != nullptr && PumpEngine()) continue;
+    DiagnoseDeadlock();
+  }
+  g_current_scheduler = nullptr;
+  engine_ = nullptr;
+  slots_.clear();
+}
+
+void CoopScheduler::Wait(const std::function<bool()>& pred,
+                         const std::function<std::string()>& describe) {
+  SPARDL_CHECK(g_current_scheduler == this && current_ >= 0)
+      << "CoopScheduler::Wait outside a worker fiber";
+  WorkerSlot& slot = slots_[static_cast<size_t>(current_)];
+  while (!pred()) {
+    slot.state = State::kWaiting;
+    slot.pred = &pred;
+    slot.describe = &describe;
+    slot.fiber->Yield();
+    // Woken by the scheduler (state already back to kRunnable); re-check
+    // the predicate like any condition wait.
+    slot.pred = nullptr;
+    slot.describe = nullptr;
+  }
+  slot.state = State::kRunnable;
+}
+
+bool CoopScheduler::WakeReadyWaiters() {
+  // Predicates are evaluated lock-free: every fiber shares this OS
+  // thread, so nothing mutates predicate state concurrently.
+  bool woke = false;
+  for (WorkerSlot& slot : slots_) {
+    if (slot.state != State::kWaiting) continue;
+    if ((*slot.pred)()) {
+      slot.state = State::kRunnable;
+      woke = true;
+    }
+  }
+  return woke;
+}
+
+bool CoopScheduler::PumpEngine() {
+  // Every worker is blocked, so this is exactly the engine's quiescent
+  // cut — the same point the thread backend pumps at, hence the same
+  // deterministic (time, key) event order. Pumping pauses as soon as a
+  // resolution makes some waiter runnable: that worker may inject new,
+  // earlier-keyed flows that must precede later queue entries.
+  std::lock_guard<lockcheck::OrderedMutex> lock(engine_->mu());
+  while (!engine_->QueueEmptyLocked()) {
+    const uint64_t resolved = engine_->PumpOneLocked();
+    if (resolved != 0 && WakeReadyWaiters()) return true;
+  }
+  return false;
+}
+
+void CoopScheduler::DiagnoseDeadlock() {
+  std::string detail;
+  int shown = 0;
+  for (size_t rank = 0; rank < slots_.size(); ++rank) {
+    const WorkerSlot& slot = slots_[rank];
+    if (slot.state != State::kWaiting) continue;
+    if (++shown > 16) {
+      detail += "\n  ...";
+      break;
+    }
+    detail += "\n  worker " + std::to_string(rank) + ": " +
+              (*slot.describe)();
+  }
+  SPARDL_CHECK(false)
+      << "cooperative scheduler stalled: no runnable worker, no ready "
+         "predicate, no pumpable event — collective deadlock?"
+      << detail;
+  std::abort();  // unreachable; keeps [[noreturn]] honest for the compiler
+}
+
+}  // namespace spardl

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
+#include "des/coop_scheduler.h"
 
 namespace spardl {
 
-EventEngine::EventEngine(const Topology& topology) : topology_(topology) {
+EventEngine::EventEngine(const Topology& topology)
+    : topology_(topology),
+      clocks_(static_cast<size_t>(topology.num_workers())) {
   links_.resize(static_cast<size_t>(topology.num_links()));
   const size_t p = static_cast<size_t>(topology.num_workers());
   pair_seq_.assign(p * p, 0);
@@ -65,6 +69,15 @@ bool EventEngine::AnySleeperReadyLocked() const {
   return false;
 }
 
+double EventEngine::HorizonLocked() const {
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const PublishedClock& clock : clocks_) {
+    horizon =
+        std::min(horizon, clock.value.load(std::memory_order_relaxed));
+  }
+  return horizon;
+}
+
 uint64_t EventEngine::PumpOneLocked() {
   const EventQueue::Event event = queue_.PopEarliest();
   auto it = flows_.find(event.flow);
@@ -117,20 +130,37 @@ void EventEngine::BlockUntil(std::unique_lock<lockcheck::OrderedMutex>& lock,
                              const std::function<bool()>& pred,
                              double timeout_seconds,
                              const std::function<std::string()>& describe) {
+  if (CoopScheduler* scheduler = CoopScheduler::Current();
+      scheduler != nullptr) {
+    // Cooperative backend: blocking is the scheduler's job. The engine
+    // lock must drop before the fiber switch — the next fiber runs on
+    // this same OS thread and would self-deadlock re-acquiring it. The
+    // scheduler evaluates `pred` lock-free (sound: one carrier thread)
+    // and pumps through `PumpOneLocked` at its own quiescent cuts.
+    lock.unlock();
+    scheduler->Wait(pred, describe);
+    lock.lock();
+    return;
+  }
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_seconds));
   ++blocked_;
   while (!pred()) {
-    // Quiescent cut: every registered worker is blocked (this thread
-    // included) and no sleeper could make progress if it held the lock, so
-    // the pending flow set is scheduling-independent and the earliest
-    // event is safe to process. The sleeper check also pauses pumping the
+    // Pump when it is provably safe. Quiescent cut: every registered
+    // worker is blocked (this thread included) and no sleeper could make
+    // progress if it held the lock, so the pending flow set is
+    // scheduling-independent and the earliest event is safe to process.
+    // Safe horizon: even with workers still running, an event strictly
+    // below the min published clock precedes every flow any worker can
+    // still inject, so pumping it now cannot disturb the (time, key)
+    // order (see HorizonLocked). The sleeper check pauses pumping the
     // moment a resolution releases someone: that worker must consume its
     // arrival and run — possibly injecting earlier-keyed flows — before
     // later events are touched.
-    if (blocked_ >= active_ && !queue_.Empty() && !AnySleeperReadyLocked()) {
+    if (!queue_.Empty() && !AnySleeperReadyLocked() &&
+        (blocked_ >= active_ || queue_.NextTime() < HorizonLocked())) {
       const uint64_t resolved = PumpOneLocked();
       if (resolved != 0 && AnySleeperReadyLocked()) {
         // Hand the arrival over to the released sleeper and park.

@@ -1,6 +1,7 @@
 #ifndef SPARDL_DES_EVENT_ENGINE_H_
 #define SPARDL_DES_EVENT_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -60,6 +61,9 @@ class EventQueue {
     return event;
   }
 
+  /// Simulated time of the earliest event. Undefined when empty.
+  double NextTime() const { return heap_.top().time; }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -117,7 +121,7 @@ class LinkServer {
 /// `EventQueue`.
 ///
 /// Conservative processing: worker threads run freely between blocking
-/// points; the queue is pumped only at *quiescent cuts* — every registered
+/// points; the queue is pumped at *quiescent cuts* — every registered
 /// worker is blocked AND no sleeping worker's wake predicate currently
 /// holds. At such a cut the injected flow set is a pure function of the
 /// SPMD program, not of thread scheduling, and any flow a blocked worker
@@ -128,6 +132,21 @@ class LinkServer {
 /// true (the released worker may inject new, earlier-keyed flows that must
 /// precede later queue entries). Which thread pumps depends on
 /// scheduling; the event order does not.
+///
+/// Safe-horizon pumping: waiting for *full* quiescence serializes
+/// contended phases behind the last runnable thread, so a blocked thread
+/// may additionally pump any event strictly earlier than the min over
+/// all workers' published clocks (`PublishClock` / `HorizonLocked`):
+/// per-worker clocks are monotone, so every future injection sorts at or
+/// after that horizon and the global `(time, key)` pump order — and with
+/// it every simulated result — is bit-identical to quiescence-only
+/// pumping; events are simply processed earlier in wall time.
+///
+/// Cooperative backend: when the calling thread runs fibers
+/// (`CoopScheduler::Current() != null`), `BlockUntil` delegates the wait
+/// to the scheduler, which pumps via the public `PumpOneLocked` hook at
+/// its own all-workers-blocked cuts. The quiescence/sleeper machinery
+/// below then sits idle — fibers never park in `cv_`.
 ///
 /// Locking: one engine mutex guards everything — flows, links, queue,
 /// sleeper registry, and (via `mu()`) the `Network` state that must change
@@ -187,6 +206,28 @@ class EventEngine {
   /// barrier, ...). Caller holds `mu()`.
   void NotifyAllLocked() { cv_.notify_all(); }
 
+  /// Publishes `rank`'s simulated clock for the safe-horizon pump rule
+  /// (called from `Comm` on every clock change, without `mu()`). Relaxed
+  /// atomics are sound here because per-worker clocks are *monotone
+  /// within a run*: any flow `rank` injects later carries
+  /// `sent_at >= now`, so a stale (lower) read only makes the horizon
+  /// more conservative, never wrong. `Comm::ResetClock` is the one
+  /// rewind, and it happens between runs while no worker executes.
+  void PublishClock(int rank, double now) {
+    clocks_[static_cast<size_t>(rank)].value.store(
+        now, std::memory_order_relaxed);
+  }
+
+  /// True when no per-hop event is pending. Caller holds `mu()`.
+  bool QueueEmptyLocked() const { return queue_.Empty(); }
+
+  /// Processes the earliest event: serves one hop, schedules the next,
+  /// and on the final hop records the flow's arrival. Returns the
+  /// resolved flow key, or 0 for a mid-path hop. Caller holds `mu()`.
+  /// Public for the cooperative scheduler, which pumps at its own
+  /// all-workers-blocked cuts (`CoopScheduler::PumpEngine`).
+  uint64_t PumpOneLocked();
+
   /// Clears per-link busy clocks between measured phases; CHECK-fails if
   /// flows are still in flight (reset mid-collective is a bug).
   void Reset();
@@ -208,14 +249,24 @@ class EventEngine {
     const std::function<bool()>* pred;
   };
 
-  /// Processes the earliest event: serves one hop, schedules the next, and
-  /// on the final hop records the flow's arrival. Returns the resolved
-  /// flow key, or 0 for a mid-path hop. Caller holds `mu()`.
-  uint64_t PumpOneLocked();
+  /// One worker's published clock, cache-line padded: every clock change
+  /// stores here, and false sharing across 4096 workers would put the
+  /// stores on the simulation's hot path.
+  struct alignas(64) PublishedClock {
+    std::atomic<double> value{0.0};
+  };
 
   /// True when some sleeping thread's predicate already holds — it must
   /// wake and run before any further event is processed.
   bool AnySleeperReadyLocked() const;
+
+  /// The safe horizon: min over all workers' published clocks. Every
+  /// *future* injection carries `sent_at >=` its sender's clock, so any
+  /// pending event strictly below this min is already globally earliest
+  /// and safe to pump before full quiescence (strict `<` so an event
+  /// tied at the horizon still waits — a runnable worker could inject an
+  /// equal-time, smaller-keyed flow).
+  double HorizonLocked() const;
 
   const Topology& topology_;
   mutable lockcheck::OrderedMutex mu_{"simnet.engine"};
@@ -227,6 +278,7 @@ class EventEngine {
   int blocked_ = 0;  // threads currently inside BlockUntil
 
   EventQueue queue_;
+  std::vector<PublishedClock> clocks_;  // by rank, written lock-free
   TraceRecorder* trace_recorder_ = nullptr;
   std::vector<LinkServer> links_;                  // by LinkId
   std::vector<uint32_t> pair_seq_;                 // per (src, dst) pair

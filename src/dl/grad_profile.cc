@@ -46,6 +46,25 @@ ProfileGradientGenerator::ProfileGradientGenerator(
   SPARDL_CHECK(shared_magnitude >= 0.0 && shared_magnitude <= 1.0);
 }
 
+void ProfileGradientGenerator::SetComputeMultiplier(int worker,
+                                                    double factor) {
+  SPARDL_CHECK_GE(worker, 0);
+  SPARDL_CHECK_GT(factor, 0.0);
+  if (multipliers_.size() <= static_cast<size_t>(worker)) {
+    multipliers_.resize(static_cast<size_t>(worker) + 1, 1.0);
+  }
+  multipliers_[static_cast<size_t>(worker)] = factor;
+}
+
+double ProfileGradientGenerator::ComputeSeconds(int worker,
+                                                double base_seconds) const {
+  SPARDL_CHECK_GE(worker, 0);
+  if (static_cast<size_t>(worker) >= multipliers_.size()) {
+    return base_seconds;
+  }
+  return base_seconds * multipliers_[static_cast<size_t>(worker)];
+}
+
 namespace {
 
 uint64_t Mix64(uint64_t x) {

@@ -59,6 +59,21 @@ class ProfileGradientGenerator {
 
   size_t n() const { return n_; }
 
+  /// Heterogeneous-compute mode (the §VI straggler extension on the
+  /// *compute* side): scales `worker`'s forward+backward time by
+  /// `factor` (>= 1 models a slower accelerator; 1 is the homogeneous
+  /// default). Set before running workers; CHECK-fails on factor <= 0
+  /// or a negative worker.
+  void SetComputeMultiplier(int worker, double factor);
+
+  /// `base_seconds` scaled by `worker`'s multiplier — what a bench
+  /// should pass to `Comm::Compute` for that worker's iteration.
+  double ComputeSeconds(int worker, double base_seconds) const;
+
+  /// True once `SetComputeMultiplier` has been called (lets harnesses
+  /// charge compute only when heterogeneity was asked for).
+  bool has_compute_skew() const { return !multipliers_.empty(); }
+
  private:
   size_t n_;
   uint64_t seed_;
@@ -66,6 +81,9 @@ class ProfileGradientGenerator {
   int drift_period_;
   double overlap_;
   double shared_magnitude_;
+  /// Per-worker compute multipliers; empty = homogeneous (all 1.0).
+  /// Sized on first `SetComputeMultiplier` (missing entries are 1.0).
+  std::vector<double> multipliers_;
 };
 
 }  // namespace spardl

@@ -1,9 +1,24 @@
 #include "simnet/cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "common/logging.h"
+#include "des/coop_scheduler.h"
+
+// TSan cannot follow ucontext stack switches (unlike ASan there is no
+// fiber annotation API for it), so fiber execution under TSan would
+// produce nothing but false positives. Detect it and pin the thread
+// backend; the TSan CI job exists precisely to watch real threads.
+#if defined(__SANITIZE_THREAD__)
+#define SPARDL_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPARDL_TSAN 1
+#endif
+#endif
 
 namespace spardl {
 
@@ -18,7 +33,7 @@ Cluster::Cluster(const TopologySpec& spec)
       }())) {}
 
 Cluster::Cluster(std::unique_ptr<Network> network)
-    : network_(std::move(network)) {
+    : network_(std::move(network)), backend_(DefaultExecBackend()) {
   const int size = network_->size();
   comms_.reserve(static_cast<size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -28,12 +43,78 @@ Cluster::Cluster(std::unique_ptr<Network> network)
 
 Cluster::~Cluster() = default;
 
+ExecBackend Cluster::DefaultExecBackend() {
+#ifdef SPARDL_TSAN
+  return ExecBackend::kThread;
+#else
+  static const ExecBackend backend = [] {
+    const char* env = std::getenv("SPARDL_EXEC_BACKEND");
+    if (env == nullptr || *env == '\0') return ExecBackend::kThread;
+    const std::string value(env);
+    if (value == "thread") return ExecBackend::kThread;
+    if (value == "fiber") return ExecBackend::kFiber;
+    SPARDL_CHECK(false) << "SPARDL_EXEC_BACKEND must be \"thread\" or "
+                           "\"fiber\", got \""
+                        << value << "\"";
+    __builtin_unreachable();
+  }();
+  return backend;
+#endif
+}
+
 Status Cluster::Run(const std::function<void(Comm&)>& worker_fn) {
   SPARDL_CHECK(!poisoned_)
       << "Cluster::Run after a protocol violation: workers were unwound "
          "mid-collective, so the simulated state is inconsistent";
   ProtocolChecker* checker = protocol_checker_.get();
   if (checker != nullptr) checker->BeginRun();
+#ifndef SPARDL_TSAN
+  if (backend_ == ExecBackend::kFiber) {
+    return RunOnFibers(worker_fn, checker);
+  }
+#endif
+  return RunOnThreads(worker_fn, checker);
+}
+
+Status Cluster::RunOnFibers(const std::function<void(Comm&)>& worker_fn,
+                            ProtocolChecker* checker) {
+  Network* network = network_.get();
+  // No WorkerEnter/Exit: the engine's quiescence counters exist to tell
+  // pump-eligible threads apart, and here there is exactly one OS
+  // thread — the scheduler pumps at its own all-workers-blocked cuts.
+  CoopScheduler scheduler;
+  scheduler.Run(
+      static_cast<int>(comms_.size()), network->event_engine(),
+      [this, &worker_fn, network, checker](int rank) {
+        Comm& comm = *comms_[static_cast<size_t>(rank)];
+        try {
+          worker_fn(comm);
+          // A worker that returns while a peer still waits on it is
+          // itself a divergence; the checker diagnoses the transition.
+          if (checker != nullptr) checker->OnWorkerDone(comm.rank());
+        } catch (const ProtocolViolation&) {
+          // Diagnosis latched in the checker; unwind this worker.
+        }
+        if (checker != nullptr && checker->failed()) {
+          // Peers still waiting carry `interrupted()` in their wake
+          // predicates; this makes the scheduler release them to
+          // observe the failure and unwind.
+          network->InterruptWaiters();
+        }
+      });
+  if (checker != nullptr && checker->failed()) {
+    poisoned_ = true;
+    return checker->status();
+  }
+  SPARDL_CHECK(network_->AllMailboxesEmpty())
+      << "worker function left unconsumed messages in the network";
+  SPARDL_CHECK(network_->SimIdle())
+      << "worker function left unresolved flows in the event engine";
+  return Status::OK();
+}
+
+Status Cluster::RunOnThreads(const std::function<void(Comm&)>& worker_fn,
+                             ProtocolChecker* checker) {
   std::vector<std::thread> threads;
   threads.reserve(comms_.size());
   Network* network = network_.get();

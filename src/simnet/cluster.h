@@ -13,8 +13,22 @@
 
 namespace spardl {
 
+/// How `Cluster::Run` executes the P SPMD workers (see `Cluster`).
+enum class ExecBackend {
+  /// One OS thread per worker — the legacy backend. The only backend
+  /// ThreadSanitizer can observe (ucontext switches are invisible to
+  /// it), so TSan builds force this choice.
+  kThread,
+  /// All workers as stackful fibers cooperatively scheduled on the
+  /// calling thread (`CoopScheduler`). Deterministic interleaving, no
+  /// per-worker OS thread — the backend that scales one machine to
+  /// P = 1024–4096 workers.
+  kFiber,
+};
+
 /// Owns a simulated cluster: the network plus one `Comm` endpoint per
-/// worker, and runs SPMD worker functions on real threads.
+/// worker, and runs SPMD worker functions on an execution backend —
+/// thread-per-worker or cooperative fibers (`ExecBackend`).
 ///
 /// ```
 /// Cluster cluster(14, CostModel::Ethernet());                  // flat
@@ -23,8 +37,9 @@ namespace spardl {
 /// double t = cluster.MaxSimSeconds();
 /// ```
 ///
-/// Worker threads block on `Comm::Recv`, so the cluster works (slowly but
-/// correctly) even on a single hardware core.
+/// Workers block on `Comm::Recv` (parking the thread or yielding the
+/// fiber), so the cluster works — slowly but correctly — even on a
+/// single hardware core.
 class Cluster {
  public:
   /// Flat crossbar (the paper's model) shorthand.
@@ -75,6 +90,19 @@ class Cluster {
     return protocol_checker_.get();
   }
 
+  /// The process-wide default backend: `SPARDL_EXEC_BACKEND` env
+  /// ("thread" | "fiber"; CHECK-fails on anything else), else
+  /// `kThread`. TSan builds always resolve to `kThread`.
+  static ExecBackend DefaultExecBackend();
+
+  /// Overrides this cluster's backend (constructed with the process
+  /// default). Call between runs. Simulated results are identical on
+  /// both backends — see `CoopScheduler` — so this only trades wall
+  /// clock (fibers win at large P) against TSan observability.
+  /// TSan builds ignore `kFiber` and keep running threads.
+  void set_exec_backend(ExecBackend backend) { backend_ = backend; }
+  ExecBackend exec_backend() const { return backend_; }
+
   /// Runs `worker_fn(comm)` on every rank concurrently; returns when all
   /// workers finish. CHECK failures inside workers abort the process.
   ///
@@ -105,10 +133,19 @@ class Cluster {
  private:
   explicit Cluster(std::unique_ptr<Network> network);
 
+  /// The thread-per-worker `Run` body (also the TSan fallback).
+  Status RunOnThreads(const std::function<void(Comm&)>& worker_fn,
+                      ProtocolChecker* checker);
+
+  /// The cooperative-fiber `Run` body.
+  Status RunOnFibers(const std::function<void(Comm&)>& worker_fn,
+                     ProtocolChecker* checker);
+
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Comm>> comms_;
   std::unique_ptr<TraceRecorder> trace_recorder_;
   std::unique_ptr<ProtocolChecker> protocol_checker_;
+  ExecBackend backend_ = ExecBackend::kThread;
   /// Set once a run returned non-OK: workers were unwound mid-collective,
   /// so mailboxes/clocks are garbage and further runs must not start.
   bool poisoned_ = false;

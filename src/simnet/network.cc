@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "des/coop_scheduler.h"
 #include "simnet/protocol_check.h"
 #include "topo/topologies.h"
 
@@ -41,8 +42,35 @@ Network::Network(std::unique_ptr<Topology> topology)
       !topology_->closed_form_charge()) {
     engine_ = std::make_unique<EventEngine>(*topology_);
   }
-  mailboxes_.resize(static_cast<size_t>(size_) * static_cast<size_t>(size_));
-  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  // Value-initialized: every slot starts null; boxes appear on first
+  // touch (see BoxFor). The slot table itself is P^2 * 8 bytes — 134MB
+  // at P = 4096 — versus gigabytes for eager Mailbox construction.
+  mailboxes_ = std::make_unique<std::atomic<Mailbox*>[]>(MailboxCount());
+}
+
+Network::~Network() {
+  const size_t count = MailboxCount();
+  for (size_t i = 0; i < count; ++i) {
+    delete mailboxes_[i].load(std::memory_order_acquire);
+  }
+}
+
+Network::Mailbox& Network::BoxFor(int src, int dst) {
+  std::atomic<Mailbox*>& slot =
+      mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
+                 static_cast<size_t>(dst)];
+  Mailbox* box = slot.load(std::memory_order_acquire);
+  if (box == nullptr) {
+    auto fresh = std::make_unique<Mailbox>();
+    if (slot.compare_exchange_strong(box, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      box = fresh.release();
+    }
+    // On CAS failure `box` already holds the winner's pointer and
+    // `fresh` frees the loser.
+  }
+  return *box;
 }
 
 void Network::AttachTraceRecorder(TraceRecorder* recorder) {
@@ -82,8 +110,11 @@ void Network::InterruptWaiters() {
   // Take each mutex briefly before notifying: the failure flag is already
   // visible (it is set before this call), so holding the lock closes the
   // window where a waiter checked its predicate before the flag flipped
-  // but has not gone to sleep yet.
-  for (auto& box : mailboxes_) {
+  // but has not gone to sleep yet. Null slots never had a waiter.
+  const size_t count = MailboxCount();
+  for (size_t i = 0; i < count; ++i) {
+    Mailbox* box = mailboxes_[i].load(std::memory_order_acquire);
+    if (box == nullptr) continue;
     std::lock_guard<lockcheck::OrderedMutex> lock(box->mutex);
     box->cv.notify_all();
   }
@@ -175,6 +206,12 @@ Packet Network::Take(int src, int dst, int tag) {
       << "Take() bypasses the event engine; use RecvPacket on "
          "event-ordered fabrics";
   Mailbox& box = BoxFor(src, dst);
+  const auto has_tag = [&box, tag] {
+    for (const Packet& packet : box.queue) {
+      if (packet.tag == tag) return true;
+    }
+    return false;
+  };
   std::unique_lock<lockcheck::OrderedMutex> lock(box.mutex);
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -188,6 +225,20 @@ Packet Network::Take(int src, int dst, int tag) {
         box.queue.erase(it);
         return packet;
       }
+    }
+    if (CoopScheduler* scheduler = CoopScheduler::Current();
+        scheduler != nullptr) {
+      // Fibers share one OS thread: drop the lock across the switch
+      // (see CoopScheduler's locking contract) and let the scheduler
+      // poll — the sender fiber posts under this same thread, so the
+      // lock-free predicate read is race-free.
+      lock.unlock();
+      scheduler->Wait([&] { return interrupted() || has_tag(); }, [&] {
+        return StrFormat("Recv dst=%d src=%d tag=%d (busy-until)", dst, src,
+                         tag);
+      });
+      lock.lock();
+      continue;
     }
     SPARDL_CHECK(box.cv.wait_until(lock, deadline) !=
                  std::cv_status::timeout)
@@ -232,9 +283,18 @@ void Network::BarrierWait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] {
+  const auto released = [&] {
     return barrier_generation_ != my_generation || interrupted();
-  });
+  };
+  if (CoopScheduler* scheduler = CoopScheduler::Current();
+      scheduler != nullptr) {
+    lock.unlock();
+    scheduler->Wait(released,
+                    [] { return std::string("BarrierWait (busy-until)"); });
+    lock.lock();
+  } else {
+    barrier_cv_.wait(lock, released);
+  }
   ThrowIfInterrupted();
 }
 
@@ -271,22 +331,35 @@ double Network::MaxClockSync(int rank, double value) {
     sync_cv_.notify_all();
     return sync_result_;
   }
-  sync_cv_.wait(lock, [&] {
+  const auto latched = [&] {
     return sync_generation_ != my_generation || interrupted();
-  });
+  };
+  if (CoopScheduler* scheduler = CoopScheduler::Current();
+      scheduler != nullptr) {
+    lock.unlock();
+    scheduler->Wait(latched,
+                    [] { return std::string("MaxClockSync (busy-until)"); });
+    lock.lock();
+  } else {
+    sync_cv_.wait(lock, latched);
+  }
   ThrowIfInterrupted();
   return sync_result_;
 }
 
 bool Network::AllMailboxesEmpty() const {
+  const size_t count = MailboxCount();
   if (engine_) {
     std::lock_guard<lockcheck::OrderedMutex> lock(engine_->mu());
-    for (const auto& box : mailboxes_) {
-      if (!box->queue.empty()) return false;
+    for (size_t i = 0; i < count; ++i) {
+      const Mailbox* box = mailboxes_[i].load(std::memory_order_acquire);
+      if (box != nullptr && !box->queue.empty()) return false;
     }
     return true;
   }
-  for (const auto& box : mailboxes_) {
+  for (size_t i = 0; i < count; ++i) {
+    Mailbox* box = mailboxes_[i].load(std::memory_order_acquire);
+    if (box == nullptr) continue;
     std::lock_guard<lockcheck::OrderedMutex> lock(box->mutex);
     if (!box->queue.empty()) return false;
   }

@@ -1,6 +1,7 @@
 #ifndef SPARDL_SIMNET_NETWORK_H_
 #define SPARDL_SIMNET_NETWORK_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -72,6 +73,8 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  ~Network();
+
   int size() const { return size_; }
 
   /// The topology's reference alpha-beta model (exact per-message cost on
@@ -95,6 +98,11 @@ class Network {
 
   /// True when the event-ordered engine is charging this fabric.
   bool event_ordered() const { return engine_ != nullptr; }
+
+  /// The event engine charging this fabric, or null (busy-until or
+  /// closed-form fabrics). The cooperative scheduler pumps through it
+  /// (`CoopScheduler::Run` takes it by pointer).
+  EventEngine* event_engine() { return engine_.get(); }
 
   /// Attaches a span recorder to whichever engine charges this fabric
   /// (per-link occupancy spans). Call while no worker threads run; the
@@ -137,6 +145,13 @@ class Network {
   }
   void WorkerExit() {
     if (engine_) engine_->WorkerExit();
+  }
+
+  /// Publishes `rank`'s simulated clock for the event engine's
+  /// safe-horizon pump rule (no-op on the busy-until engine). Called by
+  /// `Comm` on every clock change, without any network lock held.
+  void PublishClock(int rank, double now) {
+    if (engine_) engine_->PublishClock(rank, now);
   }
 
   /// Rewinds all fabric accounting state (per-link busy clocks on either
@@ -188,13 +203,15 @@ class Network {
   /// Lock-free poll for wait predicates.
   bool interrupted() const;
 
-  Mailbox& BoxFor(int src, int dst) {
-    return *mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
-                       static_cast<size_t>(dst)];
-  }
-  const Mailbox& BoxFor(int src, int dst) const {
-    return *mailboxes_[static_cast<size_t>(src) * static_cast<size_t>(size_) +
-                       static_cast<size_t>(dst)];
+  /// The (src, dst) mailbox, created on first touch. Mailboxes are lazy
+  /// because the pair table is P^2: at P = 4096 eager construction is
+  /// ~16.7M boxes (gigabytes, and most pairs never talk — SparDL's
+  /// dense collectives are ring/doubling-shaped). Creation races resolve
+  /// by CAS; the loser frees its box and adopts the winner's.
+  Mailbox& BoxFor(int src, int dst);
+
+  size_t MailboxCount() const {
+    return static_cast<size_t>(size_) * static_cast<size_t>(size_);
   }
 
   std::unique_ptr<Topology> topology_;
@@ -206,7 +223,9 @@ class Network {
   ProtocolChecker* protocol_ = nullptr;
   int size_;
   double recv_timeout_seconds_ = 120.0;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// P^2 lazily-populated slots (see `BoxFor`); null until first touch.
+  /// Owned: the destructor deletes every created box.
+  std::unique_ptr<std::atomic<Mailbox*>[]> mailboxes_;
 
   // Reusable barrier (generation-counted; std::barrier needs a fixed
   // completion type, a hand-rolled one is simpler to reuse).

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "baselines/registry.h"
+#include "dl/grad_profile.h"
+#include "obs/analysis.h"
 #include "simnet/cluster.h"
 #include "test_util.h"
 
@@ -100,6 +102,53 @@ TEST(HeterogeneousTest, StragglerRaisesMakespan) {
     makespan[slot++] = cluster.MaxSimSeconds();
   }
   EXPECT_GT(makespan[1], 2.0 * makespan[0]);
+}
+
+// Compute-side heterogeneity: the generator's per-worker multipliers
+// scale the modelled forward+backward time, with out-of-range workers
+// staying at the homogeneous 1.0.
+TEST(HeterogeneousTest, ComputeMultiplierScalesComputeSeconds) {
+  ProfileGradientGenerator generator(2000, 11);
+  EXPECT_FALSE(generator.has_compute_skew());
+  EXPECT_DOUBLE_EQ(generator.ComputeSeconds(3, 0.1), 0.1);
+
+  generator.SetComputeMultiplier(2, 8.0);
+  EXPECT_TRUE(generator.has_compute_skew());
+  EXPECT_DOUBLE_EQ(generator.ComputeSeconds(2, 0.1), 0.8);
+  EXPECT_DOUBLE_EQ(generator.ComputeSeconds(0, 0.1), 0.1);
+  // Workers past the configured vector are homogeneous.
+  EXPECT_DOUBLE_EQ(generator.ComputeSeconds(7, 0.1), 0.1);
+}
+
+TEST(HeterogeneousTest, ComputeMultiplierRejectsBadArguments) {
+  ProfileGradientGenerator generator(2000, 11);
+  EXPECT_DEATH(generator.SetComputeMultiplier(-1, 2.0), "");
+  EXPECT_DEATH(generator.SetComputeMultiplier(0, 0.0), "");
+}
+
+// The regression the compute multipliers exist for: an injected
+// slow-compute worker must be flagged by the per-iteration straggler
+// report. Same decoupled shape as the report's own test (no barrier, so
+// nothing drags the other clocks up to the straggler's).
+TEST(HeterogeneousTest, SlowComputeWorkerFlaggedAsStraggler) {
+  ProfileGradientGenerator generator(2000, 11);
+  generator.SetComputeMultiplier(2, 8.0);
+
+  Cluster cluster(TopologySpec::Flat(4));
+  cluster.EnableTracing();
+  for (int iter = 0; iter < 3; ++iter) {
+    cluster.Run([&](Comm& comm) {
+      comm.Compute(generator.ComputeSeconds(comm.rank(), 0.1));
+      comm.MarkIteration();
+    });
+  }
+  const TimeSeriesReport report =
+      BuildTimeSeries(cluster, kDefaultStragglerFactor);
+  EXPECT_EQ(report.iterations, 3);
+  ASSERT_EQ(report.stragglers.size(), 1u);
+  EXPECT_EQ(report.stragglers[0].worker, 2);
+  EXPECT_DOUBLE_EQ(report.stragglers[0].mean_wall, 0.8);
+  EXPECT_DOUBLE_EQ(report.stragglers[0].ratio, 8.0);
 }
 
 }  // namespace
